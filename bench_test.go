@@ -1,0 +1,253 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// and figure of §7 (see DESIGN.md for the experiment index). Each runs the
+// corresponding experiment end to end and reports headline metrics via
+// b.ReportMetric, so `go test -bench=.` reproduces every result series.
+//
+// The underlying data scale is chosen so the full benchmark suite finishes
+// in minutes; cmd/experiments runs the same experiments with configurable
+// scale and full workload counts.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchSuite builds the experiment suite used by the benchmarks.
+func benchSuite() *experiments.Suite {
+	s := experiments.DefaultSuite(io.Discard)
+	s.Kaggle.Scale = 2
+	s.OpenMLRuns = 200
+	s.SynthWorkloads = 200
+	return s
+}
+
+func BenchmarkTable1Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var bytes int64
+		for _, r := range rows {
+			bytes += r.TotalBytes
+		}
+		b.ReportMetric(float64(bytes)/(1<<20), "artifact-MB")
+	}
+}
+
+func BenchmarkFig4RepeatedExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res, err := s.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: CO's run1/run2 speedup on workload 2.
+		for _, r := range res {
+			if r.System == "CO" && r.Workload == 2 {
+				b.ReportMetric(r.Run1.Seconds()/r.Run2.Seconds(), "co-w2-speedup")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5Sequence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res, err := s.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var co, kg float64
+		for _, r := range res {
+			total := r.Cumulative[len(r.Cumulative)-1].Seconds()
+			switch r.System {
+			case "CO":
+				co = total
+			case "KG":
+				kg = total
+			}
+		}
+		b.ReportMetric(kg/co, "sequence-speedup")
+	}
+}
+
+func BenchmarkFig6Materialization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res, err := s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total, err := s.TotalArtifactBytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: SA's real-size-to-budget ratio at the 8GB level.
+		for _, r := range res {
+			if r.Strategy == "SA" && r.Budget == "8GB" {
+				budget := float64(total) / 16
+				b.ReportMetric(float64(r.SizeAfter[len(r.SizeAfter)-1])/budget, "sa-size-over-budget")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7aRunTimeByBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res, err := s.Fig7a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sa16, hl16 float64
+		for _, r := range res {
+			if r.Budget == "16GB" {
+				switch r.Strategy {
+				case "SA":
+					sa16 = r.Total.Seconds()
+				case "HL":
+					hl16 = r.Total.Seconds()
+				}
+			}
+		}
+		if sa16 > 0 {
+			b.ReportMetric(hl16/sa16, "hl-over-sa-16gb")
+		}
+	}
+}
+
+func BenchmarkFig7bSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res, err := s.Fig7b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Label == "SA-16" {
+				b.ReportMetric(r.Speedup[len(r.Speedup)-1], "sa16-final-speedup")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8aModelBenchmarking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res, err := s.Fig8a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var co, oml float64
+		for _, r := range res {
+			total := r.Cumulative[len(r.Cumulative)-1].Seconds()
+			if r.System == "CO" {
+				co = total
+			} else {
+				oml = total
+			}
+		}
+		b.ReportMetric(oml/co, "benchmarking-speedup")
+	}
+}
+
+func BenchmarkFig8bAlphaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		s.OpenMLRuns = 120 // the α sweep runs the scenario 7 times
+		res, err := s.Fig8b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: final delta of the smallest α (slowest to pin gold).
+		if len(res) > 0 {
+			b.ReportMetric(res[0].Delta[len(res[0].Delta)-1].Seconds(), "alpha0-final-delta-s")
+		}
+	}
+}
+
+func BenchmarkFig9abReusePlanners(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res, err := s.Fig9ab()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ln, allc float64
+		for _, r := range res {
+			if r.Strategy != "SA" {
+				continue
+			}
+			total := r.Cumulative[len(r.Cumulative)-1].Seconds()
+			switch r.Planner {
+			case "LN":
+				ln = total
+			case "ALL_C":
+				allc = total
+			}
+		}
+		if ln > 0 {
+			b.ReportMetric(allc/ln, "ln-speedup-vs-allc")
+		}
+	}
+}
+
+func BenchmarkFig9cSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		ab, err := s.Fig9ab()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Fig9c(ab)
+		for _, r := range res {
+			if r.Planner == "LN" {
+				b.ReportMetric(r.Speedup[len(r.Speedup)-1], "ln-final-speedup")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9dReuseOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res, err := s.Fig9d()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 2 && res[0].Total > 0 {
+			b.ReportMetric(float64(res[1].Total)/float64(res[0].Total), "hl-over-ln-overhead")
+		}
+	}
+}
+
+func BenchmarkFig10Warmstarting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		// Warmstarting needs a populated donor pool before its effect
+		// shows; 200 runs are too few (see EXPERIMENTS.md, Fig 10).
+		s.OpenMLRuns = 600
+		res, err := s.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var oml, cow float64
+		for _, r := range res {
+			total := r.Cumulative[len(r.Cumulative)-1].Seconds()
+			switch r.System {
+			case "OML":
+				oml = total
+			case "CO+W":
+				cow = total
+			}
+		}
+		if cow > 0 {
+			b.ReportMetric(oml/cow, "warmstart-speedup")
+		}
+	}
+}

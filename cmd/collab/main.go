@@ -1,0 +1,190 @@
+// Command collab is the client CLI of the collaborative optimizer. It runs
+// the built-in workload suites against a collabd server and reports
+// execution metrics, demonstrating the repeated/modified-workload savings
+// of the paper end to end over the wire.
+//
+// Subcommands:
+//
+//	collab stats  -server URL
+//	collab kaggle -server URL -workload N [-repeat K] [-scale S]
+//	collab openml -server URL -n N [-warmstart]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/remote"
+	"repro/internal/spec"
+	"repro/internal/workloads/kaggle"
+	"repro/internal/workloads/openml"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "stats":
+		err = runStats(args)
+	case "kaggle":
+		err = runKaggle(args)
+	case "openml":
+		err = runOpenML(args)
+	case "run":
+		err = runSpec(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collab:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: collab <stats|kaggle|openml|run> [flags]
+  stats  -server URL                              show server EG/store state
+  kaggle -server URL -workload N [-repeat K]      run a Table-1 workload
+  openml -server URL -n N [-warmstart]            run OpenML-style pipelines
+  run    -server URL -spec wl.json [-dot out.dot] run a declarative workload`)
+	os.Exit(2)
+}
+
+func newRemote(serverURL string) *remote.Client {
+	return remote.NewClient(serverURL, cost.Remote())
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:7171", "collabd URL")
+	_ = fs.Parse(args)
+	st, err := newRemote(*server).StatsE()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("experiment graph: %d vertices, %d materialized\n", st.Vertices, st.Materialized)
+	fmt.Printf("store: %.2f MB physical (%.2f MB logical)\n",
+		float64(st.PhysicalBytes)/(1<<20), float64(st.LogicalBytes)/(1<<20))
+	return nil
+}
+
+func runKaggle(args []string) error {
+	fs := flag.NewFlagSet("kaggle", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:7171", "collabd URL")
+	workload := fs.Int("workload", 1, "Table 1 workload id (1-8), 0 = all")
+	repeat := fs.Int("repeat", 1, "times to run (repeats exercise reuse)")
+	scale := fs.Int("scale", 1, "data scale factor")
+	seed := fs.Int64("seed", 42, "data seed")
+	_ = fs.Parse(args)
+
+	sources := kaggle.Generate(kaggle.Config{Scale: *scale, Seed: *seed})
+	rc := newRemote(*server)
+	client := core.NewClient(rc)
+	for _, wl := range kaggle.AllWorkloads() {
+		if *workload != 0 && wl.ID != *workload {
+			continue
+		}
+		for r := 1; r <= *repeat; r++ {
+			res, err := client.Run(wl.Build(sources))
+			if err != nil {
+				return fmt.Errorf("workload %d run %d: %w", wl.ID, r, err)
+			}
+			if terr := rc.Err(); terr != nil {
+				return fmt.Errorf("workload %d run %d transport: %w", wl.ID, r, terr)
+			}
+			fmt.Printf("W%d run %d: %.3fs (executed %d, reused %d, plan overhead %s)\n",
+				wl.ID, r, res.RunTime.Seconds(), res.Executed, res.Reused, res.OptimizeOverhead)
+		}
+	}
+	return nil
+}
+
+// runSpec executes a declarative JSON workload (internal/spec) against a
+// server, optionally writing the executed DAG as Graphviz DOT.
+func runSpec(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:7171", "collabd URL")
+	specPath := fs.String("spec", "", "path to the JSON workload spec")
+	dotPath := fs.String("dot", "", "write the executed DAG as Graphviz DOT to this file")
+	_ = fs.Parse(args)
+	if *specPath == "" {
+		return fmt.Errorf("run: -spec is required")
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	wl, err := spec.Parse(raw)
+	if err != nil {
+		return err
+	}
+	dag, nodes, err := wl.Build(nil)
+	if err != nil {
+		return err
+	}
+	rc := newRemote(*server)
+	res, err := core.NewClient(rc).Run(dag)
+	if err != nil {
+		return err
+	}
+	if terr := rc.Err(); terr != nil {
+		return fmt.Errorf("transport: %w", terr)
+	}
+	fmt.Printf("ran %s: %.3fs (executed %d, reused %d, warmstarted %d)\n",
+		*specPath, res.RunTime.Seconds(), res.Executed, res.Reused, res.Warmstarted)
+	for _, step := range wl.Steps {
+		n := nodes[step.ID]
+		if agg, ok := n.Content.(*graph.AggregateArtifact); ok {
+			fmt.Printf("  %s = %g\n", step.ID, agg.Value)
+		}
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		if err := dag.WriteDOT(f, *specPath); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *dotPath)
+	}
+	return nil
+}
+
+func runOpenML(args []string) error {
+	fs := flag.NewFlagSet("openml", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:7171", "collabd URL")
+	n := fs.Int("n", 20, "number of pipelines to run")
+	warm := fs.Bool("warmstart", false, "request warmstarting")
+	_ = fs.Parse(args)
+
+	cfg := openml.DefaultConfig()
+	frame := openml.GenerateDataset(cfg)
+	pipes := openml.SamplePipelines(cfg, *n, *warm)
+	rc := newRemote(*server)
+	client := core.NewClient(rc)
+	for i, p := range pipes {
+		w := p.Build(frame)
+		res, err := client.Run(w)
+		if err != nil {
+			return fmt.Errorf("pipeline %d (%s): %w", i, p, err)
+		}
+		if terr := rc.Err(); terr != nil {
+			return fmt.Errorf("pipeline %d transport: %w", i, terr)
+		}
+		fmt.Printf("pipeline %3d %-22s %.3fs quality=%.3f (executed %d, reused %d, warmstarted %d)\n",
+			i, p, res.RunTime.Seconds(), openml.ModelQuality(w), res.Executed, res.Reused, res.Warmstarted)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+// Command collabd runs the collaborative-optimizer server: it hosts the
+// Experiment Graph, the artifact store, the materialization strategy, and
+// the reuse planner behind the HTTP protocol of internal/remote.
+//
+// Usage:
+//
+//	collabd -addr :7171 -budget 1073741824 -strategy sa -planner ln
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/eg"
+	"repro/internal/materialize"
+	"repro/internal/persist"
+	"repro/internal/remote"
+	"repro/internal/reuse"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7171", "listen address")
+		budget     = flag.Int64("budget", 1<<30, "materialization budget in bytes")
+		strategy   = flag.String("strategy", "sa", "materialization strategy: sa|hm|hl|all")
+		planner    = flag.String("planner", "ln", "reuse planner: ln|hl|allm|allc")
+		alpha      = flag.Float64("alpha", 0.5, "utility weight of model quality (0..1)")
+		profile    = flag.String("profile", "memory", "storage profile: memory|disk|remote")
+		warmstart  = flag.Bool("warmstart", true, "enable warmstart donor search")
+		dataDir    = flag.String("data-dir", "", "directory for persistent state (empty: in-memory only)")
+		pruneIdle  = flag.Int("prune-idle", 0, "drop unmaterialized vertices idle for N workloads (0: never)")
+		pruneFreq  = flag.Int("prune-min-freq", 0, "always keep vertices seen in at least N workloads")
+		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "periodic save interval when -data-dir is set")
+	)
+	flag.Parse()
+
+	prof, err := profileByName(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := materialize.Config{Alpha: *alpha, Profile: prof}
+	strat, err := strategyByName(*strategy, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	plan, err := plannerByName(*planner)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	srv := core.NewServer(store.New(prof),
+		core.WithBudget(*budget),
+		core.WithStrategy(strat),
+		core.WithPlanner(plan),
+		core.WithWarmstart(*warmstart),
+		core.WithPrunePolicy(eg.PrunePolicy{
+			MaxIdleWorkloads: *pruneIdle,
+			MinFrequency:     *pruneFreq,
+		}),
+	)
+	if *dataDir != "" {
+		restored, err := persist.Load(srv, *dataDir)
+		if err != nil {
+			log.Fatalf("collabd: restoring state: %v", err)
+		}
+		if restored {
+			log.Printf("collabd: restored %d vertices, %d materialized artifacts from %s",
+				srv.EG.Len(), srv.Store.Len(), *dataDir)
+		}
+		save := func(reason string) {
+			if err := persist.Save(srv, *dataDir); err != nil {
+				log.Printf("collabd: save (%s): %v", reason, err)
+			} else {
+				log.Printf("collabd: state saved (%s)", reason)
+			}
+		}
+		go func() {
+			ticker := time.NewTicker(*checkpoint)
+			defer ticker.Stop()
+			for range ticker.C {
+				save("checkpoint")
+			}
+		}()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			save("shutdown")
+			os.Exit(0)
+		}()
+	}
+	log.Printf("collabd: listening on %s (strategy=%s planner=%s budget=%d alpha=%.2f profile=%s)",
+		*addr, strat.Name(), plan.Name(), *budget, *alpha, prof.Name)
+	log.Fatal(http.ListenAndServe(*addr, remote.NewHandler(srv)))
+}
+
+func profileByName(name string) (cost.Profile, error) {
+	switch name {
+	case "memory":
+		return cost.Memory(), nil
+	case "disk":
+		return cost.Disk(), nil
+	case "remote":
+		return cost.Remote(), nil
+	default:
+		return cost.Profile{}, fmt.Errorf("unknown profile %q (memory|disk|remote)", name)
+	}
+}
+
+func strategyByName(name string, cfg materialize.Config) (materialize.Strategy, error) {
+	switch name {
+	case "sa":
+		return materialize.NewStorageAware(cfg), nil
+	case "hm":
+		return materialize.NewGreedy(cfg), nil
+	case "hl":
+		return materialize.NewHelix(cfg), nil
+	case "all":
+		return materialize.NewAll(), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (sa|hm|hl|all)", name)
+	}
+}
+
+func plannerByName(name string) (reuse.Planner, error) {
+	switch name {
+	case "ln":
+		return reuse.Linear{}, nil
+	case "hl":
+		return reuse.Helix{}, nil
+	case "allm":
+		return reuse.AllMaterialized{}, nil
+	case "allc":
+		return reuse.AllCompute{}, nil
+	default:
+		return nil, fmt.Errorf("unknown planner %q (ln|hl|allm|allc)", name)
+	}
+}

@@ -1,0 +1,120 @@
+// Command experiments regenerates the paper's evaluation (§7): every table
+// and figure, printed as text series. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig4,fig9d -scale 8 -openml 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated: table1,fig4,fig5,fig6,fig7a,fig7b,fig8a,fig8b,fig9ab,fig9c,fig9d,fig9disk,fig10,scalability or 'all'")
+		scale  = flag.Int("scale", 4, "kaggle data scale factor")
+		seed   = flag.Int64("seed", 42, "data seed")
+		openml = flag.Int("openml", 2000, "OpenML pipeline count (paper: 2000)")
+		synth  = flag.Int("synth", 10000, "synthetic workloads for fig9d (paper: 10000)")
+	)
+	flag.Parse()
+
+	s := experiments.DefaultSuite(os.Stdout)
+	s.Kaggle.Scale = *scale
+	s.Kaggle.Seed = *seed
+	s.OpenMLRuns = *openml
+	s.SynthWorkloads = *synth
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	start := time.Now()
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if sel("table1") {
+		if _, err := s.Table1(); err != nil {
+			fail("table1", err)
+		}
+	}
+	if sel("fig4") {
+		if _, err := s.Fig4(); err != nil {
+			fail("fig4", err)
+		}
+	}
+	if sel("fig5") {
+		if _, err := s.Fig5(); err != nil {
+			fail("fig5", err)
+		}
+	}
+	if sel("fig6") {
+		if _, err := s.Fig6(); err != nil {
+			fail("fig6", err)
+		}
+	}
+	if sel("fig7a") {
+		if _, err := s.Fig7a(); err != nil {
+			fail("fig7a", err)
+		}
+	}
+	if sel("fig7b") {
+		if _, err := s.Fig7b(); err != nil {
+			fail("fig7b", err)
+		}
+	}
+	if sel("fig8a") {
+		if _, err := s.Fig8a(); err != nil {
+			fail("fig8a", err)
+		}
+	}
+	if sel("fig8b") {
+		if _, err := s.Fig8b(); err != nil {
+			fail("fig8b", err)
+		}
+	}
+	if sel("fig9ab") || sel("fig9c") {
+		ab, err := s.Fig9ab()
+		if err != nil {
+			fail("fig9ab", err)
+		}
+		if sel("fig9c") {
+			s.Fig9c(ab)
+		}
+	}
+	if sel("fig9d") {
+		if _, err := s.Fig9d(); err != nil {
+			fail("fig9d", err)
+		}
+	}
+	if sel("fig9disk") {
+		if _, err := s.Fig9Disk(); err != nil {
+			fail("fig9disk", err)
+		}
+	}
+	if sel("fig10") {
+		if _, err := s.Fig10(); err != nil {
+			fail("fig10", err)
+		}
+	}
+	if sel("scalability") {
+		if _, err := s.FigScalability(); err != nil {
+			fail("scalability", err)
+		}
+	}
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+}

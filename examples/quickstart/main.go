@@ -1,0 +1,80 @@
+// Quickstart: run the same ML workload twice against a collaborative
+// optimizer and watch the second run reuse the first run's artifacts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+// makeFrame synthesizes a small labelled dataset: y = 1 when a+2b is
+// positive, plus noise.
+func makeFrame(rows int) *repro.Frame {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, rows)
+	b := make([]float64, rows)
+	cat := make([]string, rows)
+	y := make([]float64, rows)
+	cats := []string{"red", "green", "blue"}
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+		cat[i] = cats[rng.Intn(len(cats))]
+		if a[i]+2*b[i]+0.3*rng.NormFloat64() > 0 {
+			y[i] = 1
+		}
+	}
+	frame, err := repro.NewFrameFromColumns(
+		repro.NewFloatColumn("a", a),
+		repro.NewFloatColumn("b", b),
+		repro.NewStringColumn("cat", cat),
+		repro.NewFloatColumn("y", y),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return frame
+}
+
+// buildWorkload constructs the pipeline: clean → one-hot → feature → train
+// a GBT → evaluate. Building it twice yields identical vertex IDs, which
+// is what makes reuse possible.
+func buildWorkload(frame *repro.Frame) *repro.Workload {
+	w := repro.NewWorkload()
+	src := w.AddSource("quickstart.csv", frame)
+	clean := w.Apply(src, repro.FillNA{})
+	encoded := w.Apply(clean, repro.OneHot{Col: "cat"})
+	feats := w.Apply(encoded, repro.Derive{
+		Out: "a_plus_b", Inputs: []string{"a", "b"}, Fn: "sum",
+	})
+	model := w.Apply(feats, &repro.Train{
+		Spec: repro.ModelSpec{
+			Kind:   "gbt",
+			Params: map[string]float64{"n_trees": 20, "depth": 3},
+			Seed:   1,
+		},
+		Label: "y",
+	})
+	w.Combine(repro.Evaluate{Label: "y", Metric: "auc"}, model, feats)
+	return w
+}
+
+func main() {
+	srv := repro.NewMemoryServer(repro.WithBudget(256 << 20))
+	client := repro.NewClient(srv)
+	frame := makeFrame(2000)
+
+	for run := 1; run <= 2; run++ {
+		w := buildWorkload(frame)
+		res, err := client.Run(w.DAG)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run %d: %8.3fms  executed=%d reused=%d\n",
+			run, float64(res.RunTime.Microseconds())/1000, res.Executed, res.Reused)
+	}
+	fmt.Println("the second run loaded every artifact from the Experiment Graph")
+}

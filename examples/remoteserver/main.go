@@ -1,0 +1,90 @@
+// Remoteserver: the full client/server deployment of Figure 2 in one
+// process. A collabd-style HTTP server hosts the Experiment Graph; two
+// clients connect over the wire, and the second benefits from artifacts
+// the first uploaded.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+
+	"repro"
+)
+
+func main() {
+	// Server side (what `collabd` runs).
+	// The server plans with remote-transfer costs, so it only proposes
+	// loading artifacts whose recomputation is slower than the network.
+	srv := repro.NewServerWithProfile(repro.RemoteProfile(), repro.WithBudget(256<<20))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, repro.NewHTTPHandler(srv)); err != nil {
+			log.Print(err)
+		}
+	}()
+	url := "http://" + ln.Addr().String()
+	fmt.Println("server listening on", url)
+
+	frame := makeFrame(30000)
+
+	// Client 1 executes the workload; its artifacts are uploaded.
+	c1 := repro.NewClient(repro.NewRemoteOptimizer(url))
+	r1, err := c1.Run(buildWorkload(frame).DAG)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client 1: %8.3fms executed=%d reused=%d\n",
+		float64(r1.RunTime.Microseconds())/1000, r1.Executed, r1.Reused)
+
+	// Client 2 (a different user) runs the same published script and
+	// downloads the materialized artifacts instead of recomputing.
+	c2 := repro.NewClient(repro.NewRemoteOptimizer(url))
+	r2, err := c2.Run(buildWorkload(frame).DAG)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client 2: %8.3fms executed=%d reused=%d\n",
+		float64(r2.RunTime.Microseconds())/1000, r2.Executed, r2.Reused)
+}
+
+func buildWorkload(frame *repro.Frame) *repro.Workload {
+	w := repro.NewWorkload()
+	src := w.AddSource("shared.csv", frame)
+	clean := w.Apply(src, repro.FillNA{})
+	feats := w.Apply(clean, repro.Derive{Out: "uv", Inputs: []string{"u", "v"}, Fn: "product"})
+	model := w.Apply(feats, &repro.Train{
+		Spec:  repro.ModelSpec{Kind: "gbt", Params: map[string]float64{"n_trees": 25, "depth": 3}, Seed: 2},
+		Label: "y",
+	})
+	w.Combine(repro.Evaluate{Label: "y", Metric: "auc"}, model, feats)
+	return w
+}
+
+func makeFrame(rows int) *repro.Frame {
+	rng := rand.New(rand.NewSource(5))
+	u := make([]float64, rows)
+	v := make([]float64, rows)
+	y := make([]float64, rows)
+	for i := range u {
+		u[i] = rng.Float64()*2 - 1
+		v[i] = rng.Float64()*2 - 1
+		if u[i]*v[i] > 0 {
+			y[i] = 1
+		}
+	}
+	frame, err := repro.NewFrameFromColumns(
+		repro.NewFloatColumn("u", u),
+		repro.NewFloatColumn("v", v),
+		repro.NewFloatColumn("y", y),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return frame
+}

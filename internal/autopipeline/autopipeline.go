@@ -1,0 +1,220 @@
+// Package autopipeline implements the paper's §9 future work: "EG contains
+// valuable information about the meta-data and hyperparameters of the
+// feature engineering and model training operations ... utilize this
+// information to automatically construct ML pipelines and tune
+// hyperparameters".
+//
+// Two capabilities are provided:
+//
+//   - Pipeline mining (Mine/Instantiate): extract the operation chains
+//     that produced the highest-quality models in the Experiment Graph and
+//     replay them on new datasets.
+//   - Hyperparameter suggestion (SuggestSpecs): propose new model
+//     configurations for a learner family by perturbing the
+//     best-performing configurations recorded in EG.
+package autopipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/eg"
+	"repro/internal/graph"
+	"repro/internal/ops"
+)
+
+// Mined is one pipeline extracted from the Experiment Graph: the linear
+// chain of operations that led from a raw source to a model, with the
+// model's recorded quality.
+type Mined struct {
+	// SourceName is the raw dataset the pipeline was originally built on.
+	SourceName string
+	// Steps are the operations from the source (exclusive) to the model
+	// vertex (inclusive, as the final training step).
+	Steps []graph.Operation
+	// Quality is the recorded evaluation score of the resulting model.
+	Quality float64
+	// ModelVertexID identifies the mined model in EG.
+	ModelVertexID string
+}
+
+// String renders the pipeline compactly.
+func (m Mined) String() string {
+	s := m.SourceName
+	for _, op := range m.Steps {
+		s += " → " + op.Name()
+	}
+	return fmt.Sprintf("%s (q=%.3f)", s, m.Quality)
+}
+
+// Mine extracts up to limit pipelines, best quality first. Only linear
+// chains whose operations were observed in-process (Vertex.Op != nil) are
+// minable; multi-input pipelines (joins) are skipped because they cannot
+// be replayed against a single new dataset.
+func Mine(g *eg.Graph, limit int) []Mined {
+	var out []Mined
+	for _, v := range g.Vertices() {
+		if v.Kind != graph.ModelKind || v.Quality <= 0 {
+			continue
+		}
+		if m, ok := mineChain(g, v); ok {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Quality != out[j].Quality {
+			return out[i].Quality > out[j].Quality
+		}
+		return out[i].ModelVertexID < out[j].ModelVertexID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// mineChain walks from a model vertex up to its source, collecting ops.
+func mineChain(g *eg.Graph, model *eg.Vertex) (Mined, bool) {
+	var steps []graph.Operation
+	cur := model
+	for {
+		if cur.Op == nil && !cur.IsSource() {
+			return Mined{}, false // op unknown (wire vertex) or supernode gap
+		}
+		if cur.IsSource() {
+			// reverse steps
+			for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+				steps[i], steps[j] = steps[j], steps[i]
+			}
+			return Mined{
+				SourceName:    cur.Name,
+				Steps:         steps,
+				Quality:       model.Quality,
+				ModelVertexID: model.ID,
+			}, true
+		}
+		if len(cur.Parents) != 1 {
+			return Mined{}, false // multi-input chain: not replayable
+		}
+		steps = append(steps, cur.Op)
+		parent := g.Vertex(cur.Parents[0])
+		if parent == nil {
+			return Mined{}, false
+		}
+		cur = parent
+	}
+}
+
+// Instantiate replays a mined pipeline on a new source node inside w,
+// returning the resulting model vertex. The new dataset must be
+// schema-compatible with the pipeline's original source (same column
+// names the operations reference).
+func Instantiate(w *graph.DAG, src *graph.Node, m Mined) *graph.Node {
+	cur := src
+	for _, op := range m.Steps {
+		cur = w.Apply(cur, op)
+	}
+	return cur
+}
+
+// SpecScore pairs a model configuration observed in EG with the quality it
+// achieved.
+type SpecScore struct {
+	Spec    ops.ModelSpec
+	Quality float64
+}
+
+// History returns every (ModelSpec, quality) pair recorded in EG for the
+// given learner kind, best first.
+func History(g *eg.Graph, kind string) []SpecScore {
+	var out []SpecScore
+	for _, v := range g.Vertices() {
+		if v.Kind != graph.ModelKind || v.Op == nil {
+			continue
+		}
+		train, ok := v.Op.(*ops.Train)
+		if !ok || train.Spec.Kind != kind {
+			continue
+		}
+		out = append(out, SpecScore{Spec: train.Spec, Quality: v.Quality})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Quality != out[j].Quality {
+			return out[i].Quality > out[j].Quality
+		}
+		return out[i].Spec.Seed < out[j].Spec.Seed
+	})
+	return out
+}
+
+// SuggestSpecs proposes n new configurations for the learner kind by
+// perturbing the top recorded configurations (EG-guided local search).
+// With no history it falls back to the learner's defaults with varying
+// seeds. Suggestions never duplicate a configuration already in EG.
+func SuggestSpecs(g *eg.Graph, kind string, n int, seed int64) []ops.ModelSpec {
+	rng := rand.New(rand.NewSource(seed))
+	hist := History(g, kind)
+	seen := make(map[string]bool, len(hist))
+	for _, h := range hist {
+		seen[specKey(h.Spec)] = true
+	}
+	var out []ops.ModelSpec
+	for attempts := 0; len(out) < n && attempts < n*50; attempts++ {
+		var spec ops.ModelSpec
+		if len(hist) == 0 {
+			spec = ops.ModelSpec{Kind: kind, Seed: rng.Int63n(1 << 20)}
+		} else {
+			// Perturb one of the top-3 configurations.
+			base := hist[rng.Intn(min(3, len(hist)))].Spec
+			spec = perturb(rng, base)
+		}
+		key := specKey(spec)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, spec)
+	}
+	return out
+}
+
+func specKey(s ops.ModelSpec) string {
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	key := fmt.Sprintf("%s|%d", s.Kind, s.Seed)
+	for _, k := range keys {
+		key += fmt.Sprintf("|%s=%g", k, s.Params[k])
+	}
+	return key
+}
+
+// perturb jitters each numeric hyperparameter by up to ±30% (integers
+// rounded, minimum 1) and re-rolls the seed.
+func perturb(rng *rand.Rand, base ops.ModelSpec) ops.ModelSpec {
+	out := ops.ModelSpec{Kind: base.Kind, Seed: rng.Int63n(1 << 20)}
+	out.Params = make(map[string]float64, len(base.Params))
+	for k, v := range base.Params {
+		factor := 1 + (rng.Float64()*2-1)*0.3
+		nv := v * factor
+		switch k {
+		case "max_iter", "n_trees", "depth", "k":
+			nv = float64(int(nv + 0.5))
+			if nv < 1 {
+				nv = 1
+			}
+		}
+		out.Params[k] = nv
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package autopipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/store"
+	"repro/internal/workloads/openml"
+)
+
+func newServer() *core.Server {
+	return core.NewServer(store.New(cost.Memory()), core.WithBudget(1<<30))
+}
+
+func runPipelines(t *testing.T, srv *core.Server, frame *data.Frame, n int) {
+	t.Helper()
+	client := core.NewClient(srv)
+	pipes := openml.SamplePipelines(openml.DefaultConfig(), n, false)
+	for i, p := range pipes {
+		if _, err := client.Run(p.Build(frame)); err != nil {
+			t.Fatalf("pipeline %d: %v", i, err)
+		}
+	}
+}
+
+func TestMineFindsBestPipelinesFirst(t *testing.T) {
+	srv := newServer()
+	frame := openml.GenerateDataset(openml.DefaultConfig())
+	runPipelines(t, srv, frame, 15)
+
+	mined := Mine(srv.EG, 5)
+	if len(mined) == 0 {
+		t.Fatal("no pipelines mined")
+	}
+	for i := 1; i < len(mined); i++ {
+		if mined[i].Quality > mined[i-1].Quality {
+			t.Fatal("mined pipelines not sorted by quality")
+		}
+	}
+	best := mined[0]
+	if best.SourceName != openml.DatasetName {
+		t.Errorf("source=%q", best.SourceName)
+	}
+	if len(best.Steps) == 0 {
+		t.Error("mined pipeline has no steps")
+	}
+	if _, ok := best.Steps[len(best.Steps)-1].(*ops.Train); !ok {
+		t.Errorf("last step should be training, got %s", best.Steps[len(best.Steps)-1].Name())
+	}
+}
+
+func TestInstantiateReplaysOnNewData(t *testing.T) {
+	srv := newServer()
+	trainCfg := openml.DefaultConfig()
+	frame := openml.GenerateDataset(trainCfg)
+	runPipelines(t, srv, frame, 15)
+	mined := Mine(srv.EG, 1)
+	if len(mined) == 0 {
+		t.Fatal("nothing mined")
+	}
+
+	// A new, schema-compatible dataset (different seed).
+	newCfg := trainCfg
+	newCfg.Seed = 99
+	newFrame := openml.GenerateDataset(newCfg)
+
+	w := graph.NewDAG()
+	src := w.AddSource("fresh-credit-g", &graph.DatasetArtifact{Frame: newFrame})
+	model := Instantiate(w, src, mined[0])
+	if model.Kind != graph.ModelKind {
+		t.Fatalf("instantiated terminal is %s, want model", model.Kind)
+	}
+	if _, err := core.NewClient(srv).Run(w); err != nil {
+		t.Fatalf("replayed pipeline failed: %v", err)
+	}
+	if model.Quality < 0.5 {
+		t.Errorf("replayed model quality=%.3f, want learnable", model.Quality)
+	}
+}
+
+func TestHistoryAndSuggestSpecs(t *testing.T) {
+	srv := newServer()
+	frame := openml.GenerateDataset(openml.DefaultConfig())
+	runPipelines(t, srv, frame, 20)
+
+	hist := History(srv.EG, "logreg")
+	if len(hist) == 0 {
+		t.Fatal("no logreg history")
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Quality > hist[i-1].Quality {
+			t.Fatal("history not sorted")
+		}
+	}
+
+	sugg := SuggestSpecs(srv.EG, "logreg", 5, 7)
+	if len(sugg) != 5 {
+		t.Fatalf("got %d suggestions, want 5", len(sugg))
+	}
+	seen := map[string]bool{}
+	for _, h := range hist {
+		seen[specKey(h.Spec)] = true
+	}
+	for _, s := range sugg {
+		if s.Kind != "logreg" {
+			t.Errorf("suggestion kind=%s", s.Kind)
+		}
+		if seen[specKey(s)] {
+			t.Error("suggestion duplicates an EG configuration")
+		}
+		if _, err := s.Build(); err != nil {
+			t.Errorf("suggestion not buildable: %v", err)
+		}
+	}
+}
+
+func TestSuggestSpecsColdStart(t *testing.T) {
+	g := newServer().EG
+	sugg := SuggestSpecs(g, "gbt", 3, 1)
+	if len(sugg) != 3 {
+		t.Fatalf("cold start gave %d suggestions", len(sugg))
+	}
+	for _, s := range sugg {
+		if s.Kind != "gbt" {
+			t.Errorf("kind=%s", s.Kind)
+		}
+	}
+}
+
+func TestSuggestedSpecsImproveSearch(t *testing.T) {
+	// End-to-end: run suggested configs and check they execute and are
+	// competitive with random history.
+	srv := newServer()
+	frame := openml.GenerateDataset(openml.DefaultConfig())
+	runPipelines(t, srv, frame, 20)
+	best := History(srv.EG, "logreg")
+	if len(best) == 0 {
+		t.Skip("no logreg in sampled pipelines")
+	}
+	client := core.NewClient(srv)
+	for _, spec := range SuggestSpecs(srv.EG, "logreg", 3, 11) {
+		w := graph.NewDAG()
+		src := w.AddSource(openml.DatasetName, &graph.DatasetArtifact{Frame: frame})
+		m := w.Apply(src, &ops.Train{Spec: spec, Label: "class"})
+		if _, err := client.Run(w); err != nil {
+			t.Fatalf("suggested spec failed: %v", err)
+		}
+		if m.Quality <= 0 {
+			t.Errorf("suggested spec produced quality %.3f", m.Quality)
+		}
+	}
+}
+
+func TestMineSkipsMultiInputChains(t *testing.T) {
+	srv := newServer()
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 100)
+	y := make([]float64, 100)
+	ids := make([]int64, 100)
+	for i := range a {
+		ids[i] = int64(i)
+		a[i] = rng.NormFloat64()
+		if a[i] > 0 {
+			y[i] = 1
+		}
+	}
+	left := data.MustNewFrame(data.NewIntColumn("id", ids), data.NewFloatColumn("a", a))
+	right := data.MustNewFrame(data.NewIntColumn("id", ids), data.NewFloatColumn("y", y))
+	w := graph.NewDAG()
+	l := w.AddSource("left", &graph.DatasetArtifact{Frame: left})
+	r := w.AddSource("right", &graph.DatasetArtifact{Frame: right})
+	joined := w.Combine(ops.Join{Key: "id", Kind: data.Inner}, l, r)
+	w.Apply(joined, &ops.Train{Spec: ops.ModelSpec{Kind: "tree", Seed: 1}, Label: "y"})
+	if _, err := core.NewClient(srv).Run(w); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Mine(srv.EG, 10) {
+		for _, v := range srv.EG.Vertices() {
+			if v.ID == m.ModelVertexID && len(v.Parents) == 1 {
+				if p := srv.EG.Vertex(v.Parents[0]); p != nil && p.Kind == graph.SupernodeKind {
+					t.Error("mined a multi-input pipeline")
+				}
+			}
+		}
+	}
+}

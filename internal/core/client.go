@@ -1,0 +1,85 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/graph"
+)
+
+// ArtifactSource hands the executor artifact content by vertex ID together
+// with the modeled retrieval cost. A local store and a remote HTTP client
+// both implement it.
+type ArtifactSource interface {
+	// Fetch returns the artifact content, or nil when unavailable.
+	Fetch(id string) graph.Artifact
+	// LoadCostOf models the retrieval cost Cl for the given size.
+	LoadCostOf(sizeBytes int64) time.Duration
+}
+
+// Optimizer is the server interface the client speaks: in-process (*Server)
+// or over HTTP (*RemoteClient). Both implement the optimize/update
+// round-trip of Figure 2 plus artifact retrieval.
+type Optimizer interface {
+	ArtifactSource
+	Optimize(w *graph.DAG) *Optimization
+	Update(executed *graph.DAG)
+}
+
+// Client drives one workload through the full pipeline: local pruning,
+// server-side optimization, execution, and the EG update.
+type Client struct {
+	srv Optimizer
+}
+
+// NewClient returns a client bound to a server (local or remote).
+func NewClient(srv Optimizer) *Client { return &Client{srv: srv} }
+
+// RunResult combines execution metrics with optimization overhead.
+type RunResult struct {
+	ExecResult
+	// OptimizeOverhead is the server-side reuse-planning time.
+	OptimizeOverhead time.Duration
+	// WarmstartCandidates is how many donors the server proposed.
+	WarmstartCandidates int
+}
+
+// Run executes a workload DAG end to end (Figure 2 steps 2–5) and returns
+// the metrics. The DAG's source vertices must carry content.
+func (c *Client) Run(w *graph.DAG) (*RunResult, error) {
+	// Step 2: local pruning — mark vertices whose content is already on
+	// the client so the optimizer treats them as free.
+	w.MarkComputed()
+
+	// Step 3: server-side optimization.
+	opt := c.srv.Optimize(w)
+
+	// Install warmstart donors on the client, which owns the operations.
+	for _, cand := range opt.Warmstarts {
+		n := w.Node(cand.VertexID)
+		if n == nil || n.Op == nil {
+			continue
+		}
+		wop, ok := n.Op.(graph.WarmstartableOp)
+		if !ok {
+			continue
+		}
+		if ma, ok := c.srv.Fetch(cand.DonorID).(*graph.ModelArtifact); ok && ma.Model != nil {
+			wop.SetDonor(ma.Model)
+		}
+	}
+
+	// Step 4: execution.
+	res, err := Execute(w, opt.Plan, c.srv)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 5: updater.
+	c.srv.Update(w)
+
+	return &RunResult{
+		ExecResult:          *res,
+		OptimizeOverhead:    opt.Overhead,
+		WarmstartCandidates: len(opt.Warmstarts),
+	}, nil
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/eg"
+	"repro/internal/graph"
+	"repro/internal/materialize"
+	"repro/internal/ops"
+	"repro/internal/reuse"
+	"repro/internal/store"
+)
+
+// syntheticTrain builds a small labelled dataset frame.
+func syntheticTrain(rows int, seed int64) *data.Frame {
+	rng := rand.New(rand.NewSource(seed))
+	price := make([]float64, rows)
+	age := make([]float64, rows)
+	cat := make([]string, rows)
+	y := make([]float64, rows)
+	cats := []string{"a", "b", "c"}
+	for i := 0; i < rows; i++ {
+		price[i] = rng.Float64() * 100
+		age[i] = rng.Float64() * 50
+		cat[i] = cats[rng.Intn(len(cats))]
+		if price[i]+age[i]*2+rng.NormFloat64()*10 > 100 {
+			y[i] = 1
+		}
+	}
+	return data.MustNewFrame(
+		data.NewFloatColumn("price", price),
+		data.NewFloatColumn("age", age),
+		data.NewStringColumn("cat", cat),
+		data.NewFloatColumn("y", y),
+	)
+}
+
+// buildWorkload constructs a small but realistic pipeline ending in a
+// trained model and an evaluation score.
+func buildWorkload(frame *data.Frame, seed int64) (*graph.DAG, *graph.Node) {
+	w := graph.NewDAG()
+	src := w.AddSource("train.csv", &graph.DatasetArtifact{Frame: frame})
+	filled := w.Apply(src, ops.FillNA{})
+	oh := w.Apply(filled, ops.OneHot{Col: "cat"})
+	feat := w.Apply(oh, ops.Derive{Out: "price_age", Inputs: []string{"price", "age"}, Fn: ops.Ratio})
+	model := w.Apply(feat, &ops.Train{
+		Spec:  ops.ModelSpec{Kind: "logreg", Params: map[string]float64{"max_iter": 30}, Seed: seed},
+		Label: "y",
+	})
+	eval := w.Combine(ops.Evaluate{Label: "y", Metric: ops.AUC}, model, feat)
+	return w, eval
+}
+
+func newTestServer(opts ...ServerOption) *Server {
+	st := store.New(cost.Memory())
+	base := []ServerOption{WithBudget(1 << 30)}
+	return NewServer(st, append(base, opts...)...)
+}
+
+func TestEndToEndRepeatedRunReuses(t *testing.T) {
+	srv := newTestServer()
+	client := NewClient(srv)
+	frame := syntheticTrain(400, 1)
+
+	w1, _ := buildWorkload(frame, 7)
+	r1, err := client.Run(w1)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	if r1.Executed == 0 || r1.Reused != 0 {
+		t.Fatalf("first run should execute everything: %+v", r1)
+	}
+	if srv.EG.Len() == 0 {
+		t.Fatal("EG empty after update")
+	}
+
+	w2, eval2 := buildWorkload(frame, 7)
+	r2, err := client.Run(w2)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if r2.Reused == 0 {
+		t.Fatalf("second run should reuse artifacts: %+v", r2)
+	}
+	if r2.Executed >= r1.Executed {
+		t.Errorf("second run executed %d ops, first %d; want fewer", r2.Executed, r1.Executed)
+	}
+	if r2.RunTime >= r1.RunTime {
+		t.Errorf("second run (%v) not faster than first (%v)", r2.RunTime, r1.RunTime)
+	}
+	if eval2.Content == nil {
+		t.Fatal("terminal artifact missing after optimized run")
+	}
+	score := eval2.Content.(*graph.AggregateArtifact).Value
+	if score < 0.5 {
+		t.Errorf("AUC=%v, model should beat chance", score)
+	}
+}
+
+func TestResultsIdenticalWithAndWithoutReuse(t *testing.T) {
+	frame := syntheticTrain(300, 2)
+
+	// Baseline: no reuse at all.
+	kg := newTestServer(WithPlanner(reuse.AllCompute{}))
+	wBase, evalBase := buildWorkload(frame, 3)
+	if _, err := NewClient(kg).Run(wBase); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	// Optimized: run twice, the second time with reuse.
+	srv := newTestServer()
+	c := NewClient(srv)
+	wa, _ := buildWorkload(frame, 3)
+	if _, err := c.Run(wa); err != nil {
+		t.Fatalf("opt run 1: %v", err)
+	}
+	wb, evalOpt := buildWorkload(frame, 3)
+	r, err := c.Run(wb)
+	if err != nil {
+		t.Fatalf("opt run 2: %v", err)
+	}
+	if r.Reused == 0 {
+		t.Fatal("expected reuse in second optimized run")
+	}
+	got := evalOpt.Content.(*graph.AggregateArtifact).Value
+	want := evalBase.Content.(*graph.AggregateArtifact).Value
+	if got != want {
+		t.Errorf("reuse changed the result: %v vs %v", got, want)
+	}
+}
+
+func TestModifiedWorkloadPartialReuse(t *testing.T) {
+	srv := newTestServer()
+	client := NewClient(srv)
+	frame := syntheticTrain(400, 3)
+
+	w1, _ := buildWorkload(frame, 7)
+	if _, err := client.Run(w1); err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+
+	// Modified workload: same preprocessing prefix, different model.
+	w2 := graph.NewDAG()
+	src := w2.AddSource("train.csv", &graph.DatasetArtifact{Frame: frame})
+	filled := w2.Apply(src, ops.FillNA{})
+	oh := w2.Apply(filled, ops.OneHot{Col: "cat"})
+	feat := w2.Apply(oh, ops.Derive{Out: "price_age", Inputs: []string{"price", "age"}, Fn: ops.Ratio})
+	w2.Apply(feat, &ops.Train{
+		Spec:  ops.ModelSpec{Kind: "gbt", Params: map[string]float64{"n_trees": 5}, Seed: 1},
+		Label: "y",
+	})
+	r2, err := client.Run(w2)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if r2.Reused == 0 {
+		t.Error("modified workload should reuse the shared prefix")
+	}
+	if r2.Executed == 0 {
+		t.Error("modified workload still has new work (the GBT)")
+	}
+}
+
+func TestUpdaterStoresSourcesUnconditionally(t *testing.T) {
+	// Even with a zero budget, sources are stored.
+	srv := newTestServer(WithBudget(0))
+	client := NewClient(srv)
+	frame := syntheticTrain(100, 4)
+	w, _ := buildWorkload(frame, 7)
+	if _, err := client.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	srcID := graph.SourceID("train.csv")
+	if !srv.Store.Has(srcID) {
+		t.Error("source content missing from store")
+	}
+	v := srv.EG.Vertex(srcID)
+	if v == nil || !v.Materialized {
+		t.Error("source vertex not marked materialized")
+	}
+	// Nothing else fits in a zero budget.
+	if n := len(srv.Store.StoredIDs()); n != 1 {
+		t.Errorf("stored %d artifacts, want 1 (the source)", n)
+	}
+}
+
+func TestWarmstartEndToEnd(t *testing.T) {
+	srv := newTestServer(WithWarmstart(true))
+	client := NewClient(srv)
+	frame := syntheticTrain(400, 5)
+
+	// First user trains a logreg with one hyperparameter setting.
+	w1 := graph.NewDAG()
+	src1 := w1.AddSource("train.csv", &graph.DatasetArtifact{Frame: frame})
+	f1 := w1.Apply(src1, ops.FillNA{})
+	w1.Apply(f1, &ops.Train{
+		Spec:      ops.ModelSpec{Kind: "logreg", Params: map[string]float64{"max_iter": 200, "lr": 0.5}, Seed: 1},
+		Label:     "y",
+		Warmstart: true,
+	})
+	if _, err := client.Run(w1); err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+
+	// Second user trains the same kind with different hyperparameters —
+	// not reusable, but warmstartable.
+	w2 := graph.NewDAG()
+	src2 := w2.AddSource("train.csv", &graph.DatasetArtifact{Frame: frame})
+	f2 := w2.Apply(src2, ops.FillNA{})
+	m2 := w2.Apply(f2, &ops.Train{
+		Spec:      ops.ModelSpec{Kind: "logreg", Params: map[string]float64{"max_iter": 200, "lr": 0.3}, Seed: 2},
+		Label:     "y",
+		Warmstart: true,
+	})
+	r2, err := client.Run(w2)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if r2.WarmstartCandidates == 0 {
+		t.Fatal("server proposed no warmstart donors")
+	}
+	if !m2.Warmstarted {
+		t.Error("training op did not adopt the donor")
+	}
+}
+
+func TestNoWarmstartAcrossModelKinds(t *testing.T) {
+	srv := newTestServer(WithWarmstart(true))
+	client := NewClient(srv)
+	frame := syntheticTrain(200, 6)
+
+	w1 := graph.NewDAG()
+	src1 := w1.AddSource("train.csv", &graph.DatasetArtifact{Frame: frame})
+	w1.Apply(src1, &ops.Train{
+		Spec:      ops.ModelSpec{Kind: "gbt", Params: map[string]float64{"n_trees": 5}, Seed: 1},
+		Label:     "y",
+		Warmstart: true,
+	})
+	if _, err := client.Run(w1); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := graph.NewDAG()
+	src2 := w2.AddSource("train.csv", &graph.DatasetArtifact{Frame: frame})
+	w2.Apply(src2, &ops.Train{
+		Spec:      ops.ModelSpec{Kind: "logreg", Params: map[string]float64{"lr": 0.2}, Seed: 2},
+		Label:     "y",
+		Warmstart: true,
+	})
+	r2, err := client.Run(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.WarmstartCandidates != 0 {
+		t.Error("logreg must not warmstart from a gbt donor")
+	}
+}
+
+func TestHelixPlannerSamePlanDifferentCost(t *testing.T) {
+	frame := syntheticTrain(300, 8)
+	for _, planner := range []reuse.Planner{reuse.Linear{}, reuse.Helix{}} {
+		srv := newTestServer(WithPlanner(planner))
+		client := NewClient(srv)
+		w1, _ := buildWorkload(frame, 7)
+		if _, err := client.Run(w1); err != nil {
+			t.Fatalf("%s run 1: %v", planner.Name(), err)
+		}
+		w2, _ := buildWorkload(frame, 7)
+		r2, err := client.Run(w2)
+		if err != nil {
+			t.Fatalf("%s run 2: %v", planner.Name(), err)
+		}
+		if r2.Reused == 0 {
+			t.Errorf("%s: no reuse on repeat run", planner.Name())
+		}
+	}
+}
+
+func TestServerPrunePolicyBoundsEG(t *testing.T) {
+	srv := newTestServer(
+		WithBudget(0), // nothing materialized → everything prunable
+		WithPrunePolicy(eg.PrunePolicy{MaxIdleWorkloads: 3}),
+	)
+	client := NewClient(srv)
+	// Many distinct single-shot workloads on a shared source.
+	frame := syntheticTrain(100, 10)
+	for i := 0; i < 20; i++ {
+		w := graph.NewDAG()
+		src := w.AddSource("train.csv", &graph.DatasetArtifact{Frame: frame})
+		f := w.Apply(src, ops.Filter{Col: "price", Op: ops.GT, Value: float64(i)})
+		w.Apply(f, ops.AggregateCol{Col: "age", Kind: data.AggMean})
+		if _, err := client.Run(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Without pruning the EG would hold ~1 + 20*2 vertices; the policy
+	// keeps only the recent window plus pinned vertices.
+	if got := srv.EG.Len(); got > 12 {
+		t.Errorf("EG grew to %d vertices despite pruning", got)
+	}
+	if !srv.EG.Has(graph.SourceID("train.csv")) {
+		t.Error("source pruned")
+	}
+}
+
+func TestMaterializeStrategySwap(t *testing.T) {
+	frame := syntheticTrain(200, 9)
+	cfg := materialize.Config{Alpha: 0.5, Profile: cost.Memory()}
+	for _, strat := range []materialize.Strategy{
+		materialize.NewGreedy(cfg),
+		materialize.NewStorageAware(cfg),
+		materialize.NewHelix(cfg),
+		materialize.NewAll(),
+	} {
+		srv := newTestServer(WithStrategy(strat))
+		client := NewClient(srv)
+		w, _ := buildWorkload(frame, 7)
+		if _, err := client.Run(w); err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+	}
+}

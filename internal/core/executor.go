@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/reuse"
+)
+
+// ExecResult reports what one workload execution did and cost. Run time is
+// real measured wall-clock for operator execution plus the modeled load
+// cost for artifacts retrieved from EG (see DESIGN.md "Costs").
+type ExecResult struct {
+	// RunTime = ComputeTime + LoadTime.
+	RunTime time.Duration
+	// ComputeTime is the measured time spent running operations.
+	ComputeTime time.Duration
+	// LoadTime is the modeled Cl total of artifacts loaded from EG.
+	LoadTime time.Duration
+	// Executed counts operations actually run.
+	Executed int
+	// Reused counts artifacts loaded from EG.
+	Reused int
+	// Skipped counts vertices outside the execution path (pruned by the
+	// reuse plan).
+	Skipped int
+	// Warmstarted counts training operations that adopted a donor.
+	Warmstarted int
+}
+
+// trainOpReporter lets the executor observe whether a Train op actually
+// warmstarted on its last run.
+type trainOpReporter interface{ LastWarmstarted() bool }
+
+// Execute runs the optimized DAG (Figure 2, step 4): it loads the plan's
+// reuse vertices from the store and computes everything else needed to
+// produce every terminal vertex, annotating each vertex with measured
+// compute time and size for the updater.
+func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource) (*ExecResult, error) {
+	if plan == nil {
+		plan = &reuse.Plan{Reuse: map[string]bool{}}
+	}
+	res := &ExecResult{}
+	// Active set: vertices needed to produce the terminals, stopping the
+	// upward traversal at loaded or already-computed vertices.
+	active := make(map[string]bool)
+	stack := w.Terminals()
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if active[n.ID] {
+			continue
+		}
+		active[n.ID] = true
+		if plan.Reuse[n.ID] || (n.Computed && n.Content != nil) {
+			continue
+		}
+		stack = append(stack, n.Parents...)
+	}
+
+	for _, n := range w.TopoOrder() {
+		if !active[n.ID] {
+			res.Skipped++
+			continue
+		}
+		switch {
+		case n.Computed && n.Content != nil:
+			// already on the client (source or prior cell)
+		case plan.Reuse[n.ID]:
+			content := src.Fetch(n.ID)
+			if content == nil {
+				return nil, fmt.Errorf("core: plan reuses %s (%s) but store has no content", n.ID, n.Name)
+			}
+			n.Content = content
+			n.SizeBytes = content.SizeBytes()
+			n.LoadedFromEG = true
+			if ma, ok := content.(*graph.ModelArtifact); ok {
+				n.Quality = ma.Quality
+			}
+			res.LoadTime += src.LoadCostOf(n.SizeBytes)
+			res.Reused++
+		case n.Kind == graph.SupernodeKind:
+			// Supernodes carry no data and no computation.
+		default:
+			if n.Op == nil {
+				return nil, fmt.Errorf("core: vertex %s (%s) has no operation and no content", n.ID, n.Name)
+			}
+			inputs, err := gatherInputs(n)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			content, err := n.Op.Run(inputs)
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("core: executing %s: %w", n.Name, err)
+			}
+			n.Content = content
+			n.ComputeTime = elapsed
+			n.SizeBytes = content.SizeBytes()
+			if ma, ok := content.(*graph.ModelArtifact); ok {
+				n.Quality = ma.Quality
+			}
+			if rep, ok := n.Op.(trainOpReporter); ok && rep.LastWarmstarted() {
+				n.Warmstarted = true
+				res.Warmstarted++
+			}
+			res.ComputeTime += elapsed
+			res.Executed++
+		}
+	}
+	res.RunTime = res.ComputeTime + res.LoadTime
+	return res, nil
+}
+
+// gatherInputs collects the parent artifacts of n, flattening supernodes
+// into their own parents' contents.
+func gatherInputs(n *graph.Node) ([]graph.Artifact, error) {
+	parents := n.Parents
+	if len(parents) == 1 && parents[0].Kind == graph.SupernodeKind {
+		parents = parents[0].Parents
+	}
+	inputs := make([]graph.Artifact, len(parents))
+	for i, p := range parents {
+		if p.Content == nil {
+			return nil, fmt.Errorf("core: input %s of %s has no content", p.Name, n.Name)
+		}
+		inputs[i] = p.Content
+	}
+	return inputs, nil
+}

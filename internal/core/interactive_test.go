@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/graph"
+	"repro/internal/ops"
+)
+
+// TestInteractiveNotebookSession models the paper's §3.1 Jupyter scenario:
+// the DAG keeps growing across cell invocations, and vertices computed by
+// earlier cells are marked by the local pruner so later cells skip them.
+func TestInteractiveNotebookSession(t *testing.T) {
+	srv := newTestServer()
+	client := NewClient(srv)
+	frame := syntheticTrain(300, 11)
+
+	// Cell 1: load + clean.
+	w := graph.NewDAG()
+	src := w.AddSource("notebook.csv", &graph.DatasetArtifact{Frame: frame})
+	clean := w.Apply(src, ops.FillNA{})
+	r1, err := client.Run(w)
+	if err != nil {
+		t.Fatalf("cell 1: %v", err)
+	}
+	if r1.Executed != 1 {
+		t.Fatalf("cell 1 executed %d ops, want 1 (fillna)", r1.Executed)
+	}
+
+	// Cell 2: the same DAG grows; clean already has content, so only the
+	// new operations run.
+	encoded := w.Apply(clean, ops.OneHot{Col: "cat"})
+	r2, err := client.Run(w)
+	if err != nil {
+		t.Fatalf("cell 2: %v", err)
+	}
+	if r2.Executed != 1 {
+		t.Errorf("cell 2 executed %d ops, want 1 (onehot)", r2.Executed)
+	}
+	if !clean.Computed {
+		t.Error("local pruner should mark cell 1's output as computed")
+	}
+
+	// Cell 3: train on the encoded frame; prior cells stay skipped.
+	w.Apply(encoded, &ops.Train{
+		Spec:  ops.ModelSpec{Kind: "tree", Params: map[string]float64{"depth": 3}, Seed: 1},
+		Label: "y",
+	})
+	r3, err := client.Run(w)
+	if err != nil {
+		t.Fatalf("cell 3: %v", err)
+	}
+	if r3.Executed != 1 {
+		t.Errorf("cell 3 executed %d ops, want 1 (train)", r3.Executed)
+	}
+
+	// A second user replays the whole notebook fresh: everything reused.
+	w2 := graph.NewDAG()
+	src2 := w2.AddSource("notebook.csv", &graph.DatasetArtifact{Frame: frame})
+	clean2 := w2.Apply(src2, ops.FillNA{})
+	encoded2 := w2.Apply(clean2, ops.OneHot{Col: "cat"})
+	w2.Apply(encoded2, &ops.Train{
+		Spec:  ops.ModelSpec{Kind: "tree", Params: map[string]float64{"depth": 3}, Seed: 1},
+		Label: "y",
+	})
+	r4, err := client.Run(w2)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if r4.Executed != 0 || r4.Reused == 0 {
+		t.Errorf("replay should be pure reuse: %+v", r4)
+	}
+}
+
+// TestInteractiveBranchingExploration: a user explores two branches from a
+// shared prefix inside one session; the prefix runs once.
+func TestInteractiveBranchingExploration(t *testing.T) {
+	srv := newTestServer()
+	client := NewClient(srv)
+	frame := syntheticTrain(200, 12)
+
+	w := graph.NewDAG()
+	src := w.AddSource("nb2.csv", &graph.DatasetArtifact{Frame: frame})
+	clean := w.Apply(src, ops.FillNA{})
+	// Branch A and branch B in one cell invocation.
+	a := w.Apply(clean, ops.Filter{Col: "price", Op: ops.GT, Value: 50})
+	b := w.Apply(clean, ops.Filter{Col: "price", Op: ops.LE, Value: 50})
+	w.Apply(a, ops.AggregateCol{Col: "age", Kind: data.AggMean})
+	w.Apply(b, ops.AggregateCol{Col: "age", Kind: data.AggMean})
+	r, err := client.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fillna + 2 filters + 2 aggregates = 5 executions; the shared
+	// prefix is interned so it never runs twice.
+	if r.Executed != 5 {
+		t.Errorf("executed %d ops, want 5", r.Executed)
+	}
+}

@@ -1,0 +1,244 @@
+// Package core wires the paper's architecture (Figure 2) together: the
+// client parses and prunes a workload DAG, the server optimizes it against
+// the Experiment Graph with a reuse planner, the client executes the
+// optimized DAG, and the server's updater merges the executed DAG into EG
+// and runs the materialization algorithm.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/eg"
+	"repro/internal/graph"
+	"repro/internal/materialize"
+	"repro/internal/reuse"
+	"repro/internal/store"
+)
+
+// Server is the collaborative-environment server: it owns the Experiment
+// Graph, the artifact store, the materialization strategy, and the reuse
+// planner. It is safe for concurrent use by multiple clients.
+type Server struct {
+	mu sync.Mutex
+
+	EG    *eg.Graph
+	Store *store.Manager
+
+	strategy materialize.Strategy
+	planner  reuse.Planner
+	budget   int64
+	// warmstart globally enables donor search; individual training ops
+	// must still opt in (§6.2).
+	warmstart bool
+	// prune bounds EG meta-data growth; zero-value disables pruning.
+	prune eg.PrunePolicy
+
+	// PlanTime accumulates reuse-planning overhead (Figure 9d).
+	PlanTime time.Duration
+	// MatTime accumulates materialization-algorithm overhead.
+	MatTime time.Duration
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithStrategy sets the materialization strategy (default storage-aware).
+func WithStrategy(s materialize.Strategy) ServerOption {
+	return func(srv *Server) { srv.strategy = s }
+}
+
+// WithPlanner sets the reuse planner (default linear-time).
+func WithPlanner(p reuse.Planner) ServerOption {
+	return func(srv *Server) { srv.planner = p }
+}
+
+// WithBudget sets the materialization budget in bytes (default 1 GiB).
+func WithBudget(b int64) ServerOption {
+	return func(srv *Server) { srv.budget = b }
+}
+
+// WithWarmstart enables warmstart donor search.
+func WithWarmstart(enabled bool) ServerOption {
+	return func(srv *Server) { srv.warmstart = enabled }
+}
+
+// WithPrunePolicy bounds Experiment Graph growth: after each update, stale
+// unmaterialized vertices matching the policy are dropped.
+func WithPrunePolicy(p eg.PrunePolicy) ServerOption {
+	return func(srv *Server) { srv.prune = p }
+}
+
+// NewServer builds a server around the given store.
+func NewServer(st *store.Manager, opts ...ServerOption) *Server {
+	srv := &Server{
+		EG:     eg.New(),
+		Store:  st,
+		budget: 1 << 30,
+	}
+	cfg := materialize.Config{Alpha: 0.5, Profile: st.Profile()}
+	srv.strategy = materialize.NewStorageAware(cfg)
+	srv.planner = reuse.Linear{}
+	for _, o := range opts {
+		o(srv)
+	}
+	return srv
+}
+
+// Budget returns the materialization budget in bytes.
+func (s *Server) Budget() int64 { return s.budget }
+
+// Fetch implements ArtifactSource against the server's local store.
+func (s *Server) Fetch(id string) graph.Artifact { return s.Store.Get(id) }
+
+// LoadCostOf implements ArtifactSource using the store's cost profile.
+func (s *Server) LoadCostOf(sizeBytes int64) time.Duration {
+	return s.Store.Profile().LoadCost(sizeBytes)
+}
+
+// Strategy returns the active materialization strategy.
+func (s *Server) Strategy() materialize.Strategy { return s.strategy }
+
+// Planner returns the active reuse planner.
+func (s *Server) Planner() reuse.Planner { return s.planner }
+
+// Optimization is the server's answer to an optimize request.
+type Optimization struct {
+	Plan       *reuse.Plan
+	Warmstarts []reuse.WarmstartCandidate
+	// Overhead is the time the reuse planner spent.
+	Overhead time.Duration
+}
+
+// Optimize runs the reuse planner on a pruned workload DAG (Figure 2,
+// step 3) and searches warmstart donors for eligible training operations.
+func (s *Server) Optimize(w *graph.DAG) *Optimization {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	costs := reuse.GatherCosts(w, s.EG, s.Store)
+	plan := s.planner.Plan(w, costs)
+	overhead := time.Since(start)
+	s.PlanTime += overhead
+	var ws []reuse.WarmstartCandidate
+	if s.warmstart {
+		ws = reuse.FindWarmstarts(w, s.EG, s.Store, plan)
+	}
+	return &Optimization{Plan: plan, Warmstarts: ws, Overhead: overhead}
+}
+
+// Update is the server's updater (Figure 2, step 5): it merges the
+// executed DAG into EG, stores missing source artifacts unconditionally,
+// re-runs the materialization strategy under the budget, and applies the
+// selection to the store (storing newly selected artifacts whose content
+// is at hand and evicting deselected ones).
+func (s *Server) Update(executed *graph.DAG) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.EG.Merge(executed)
+
+	available := make(map[string]graph.Artifact)
+	touched := make([]string, 0, executed.Len())
+	for _, n := range executed.Nodes() {
+		touched = append(touched, n.ID)
+		if n.Content != nil {
+			available[n.ID] = n.Content
+		}
+	}
+	s.applySelectionLocked(available, touched)
+	s.EG.Prune(s.prune)
+}
+
+// UpdateMeta is the remote (two-phase) variant of Update: the DAG carries
+// only meta-data, no content. It merges and runs the materializer, then
+// returns the vertex IDs whose content the server wants the client to
+// upload via PutArtifact — the newly selected artifacts plus any missing
+// raw sources.
+func (s *Server) UpdateMeta(executed *graph.DAG) (want []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.EG.Merge(executed)
+	touched := make([]string, 0, executed.Len())
+	for _, n := range executed.Nodes() {
+		touched = append(touched, n.ID)
+	}
+	want = s.applySelectionLocked(nil, touched)
+	s.EG.Prune(s.prune)
+	return want
+}
+
+// PutArtifact stores uploaded content for a vertex and marks it
+// materialized. It is the upload half of the remote update protocol.
+func (s *Server) PutArtifact(id string, a graph.Artifact) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.Store.Put(id, a); err != nil {
+		return err
+	}
+	s.EG.SetMaterialized(id, true)
+	return nil
+}
+
+// applySelectionLocked stores sources, runs the materialization strategy,
+// applies it to the store using the contents in available, and returns the
+// desired-but-missing vertex IDs. Strategies supporting the §5.2
+// incremental fast path receive the touched vertex IDs.
+func (s *Server) applySelectionLocked(available map[string]graph.Artifact, touched []string) (want []string) {
+	// Task one: every raw source artifact is stored, outside the budget.
+	sources := make(map[string]bool)
+	for _, id := range s.EG.Sources() {
+		sources[id] = true
+		if s.Store.Has(id) {
+			s.EG.SetMaterialized(id, true)
+			continue
+		}
+		if content, ok := available[id]; ok {
+			if err := s.Store.Put(id, content); err == nil {
+				s.EG.SetMaterialized(id, true)
+			}
+		} else {
+			want = append(want, id)
+		}
+	}
+
+	// Task three: run the materialization algorithm and apply it.
+	start := time.Now()
+	var desired []string
+	if inc, ok := s.strategy.(materialize.IncrementalStrategy); ok && touched != nil {
+		desired = inc.SelectIncremental(s.EG, s.budget, touched)
+	} else {
+		desired = s.strategy.Select(s.EG, s.budget)
+	}
+	s.MatTime += time.Since(start)
+
+	desiredSet := make(map[string]bool, len(desired))
+	for _, id := range desired {
+		desiredSet[id] = true
+	}
+	// Evict artifacts that fell out of the selection (sources exempt).
+	for _, id := range s.Store.StoredIDs() {
+		if sources[id] || desiredSet[id] {
+			continue
+		}
+		s.Store.Evict(id)
+		s.EG.SetMaterialized(id, false)
+	}
+	// Store newly selected artifacts whose content we have; report the
+	// rest so a remote client can upload them.
+	for _, id := range desired {
+		if s.Store.Has(id) {
+			s.EG.SetMaterialized(id, true)
+			continue
+		}
+		if content, ok := available[id]; ok {
+			if err := s.Store.Put(id, content); err == nil {
+				s.EG.SetMaterialized(id, true)
+			}
+		} else {
+			want = append(want, id)
+		}
+	}
+	return want
+}

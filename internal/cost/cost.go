@@ -1,0 +1,45 @@
+// Package cost models artifact load costs (the paper's Cl(v), §5.2). The
+// load cost depends on the artifact size and on where the Experiment Graph
+// resides — in memory, on disk, or on a remote store — which is what lets
+// the materializer and reuse planner adapt to the deployment (§5.2: "taking
+// the load cost into account enables us to adapt ... to different system
+// architecture types and storage unit types").
+package cost
+
+import "time"
+
+// Profile describes one storage location for EG artifact content.
+type Profile struct {
+	// Name labels the profile ("memory", "disk", "remote").
+	Name string
+	// Latency is the fixed per-retrieval cost.
+	Latency time.Duration
+	// BytesPerSecond is the retrieval bandwidth.
+	BytesPerSecond float64
+}
+
+// LoadCost returns Cl for an artifact of the given size under the profile.
+func (p Profile) LoadCost(sizeBytes int64) time.Duration {
+	if p.BytesPerSecond <= 0 {
+		return p.Latency
+	}
+	transfer := time.Duration(float64(sizeBytes) / p.BytesPerSecond * float64(time.Second))
+	return p.Latency + transfer
+}
+
+// Memory is an in-process EG: near-zero latency, very high bandwidth.
+// Matches the paper's evaluation setup ("EG is inside the memory of the
+// machine, load times are generally low").
+func Memory() Profile {
+	return Profile{Name: "memory", Latency: 20 * time.Microsecond, BytesPerSecond: 8 << 30}
+}
+
+// Disk is an EG persisted on local SSD.
+func Disk() Profile {
+	return Profile{Name: "disk", Latency: 3 * time.Millisecond, BytesPerSecond: 500 << 20}
+}
+
+// Remote is an EG behind a network hop.
+func Remote() Profile {
+	return Profile{Name: "remote", Latency: 40 * time.Millisecond, BytesPerSecond: 100 << 20}
+}

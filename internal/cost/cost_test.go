@@ -1,0 +1,40 @@
+package cost
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLoadCostScalesLinearlyWithSize(t *testing.T) {
+	p := Profile{Name: "t", Latency: 0, BytesPerSecond: 1 << 20}
+	if got := p.LoadCost(1 << 20); got != time.Second {
+		t.Errorf("1MiB at 1MiB/s = %v, want 1s", got)
+	}
+	if got := p.LoadCost(512 << 10); got != 500*time.Millisecond {
+		t.Errorf("0.5MiB = %v, want 500ms", got)
+	}
+}
+
+func TestLoadCostIncludesLatency(t *testing.T) {
+	p := Profile{Name: "t", Latency: 10 * time.Millisecond, BytesPerSecond: 1 << 30}
+	if got := p.LoadCost(0); got != 10*time.Millisecond {
+		t.Errorf("zero bytes = %v, want latency only", got)
+	}
+}
+
+func TestZeroBandwidthMeansLatencyOnly(t *testing.T) {
+	p := Profile{Name: "t", Latency: time.Millisecond}
+	if got := p.LoadCost(1 << 30); got != time.Millisecond {
+		t.Errorf("no-bandwidth profile = %v, want latency", got)
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	size := int64(100 << 20)
+	mem := Memory().LoadCost(size)
+	disk := Disk().LoadCost(size)
+	remote := Remote().LoadCost(size)
+	if !(mem < disk && disk < remote) {
+		t.Errorf("profile ordering violated: mem=%v disk=%v remote=%v", mem, disk, remote)
+	}
+}

@@ -1,0 +1,79 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchFrame(rows int, seed int64) *Frame {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]int64, rows)
+	vals := make([]float64, rows)
+	cat := make([]string, rows)
+	cats := []string{"a", "b", "c", "d", "e"}
+	for i := range ids {
+		ids[i] = int64(rng.Intn(rows / 2))
+		vals[i] = rng.NormFloat64()
+		cat[i] = cats[rng.Intn(len(cats))]
+	}
+	return MustNewFrame(
+		NewIntColumn("id", ids),
+		NewFloatColumn("v", vals),
+		NewStringColumn("cat", cat),
+	)
+}
+
+func BenchmarkJoin(b *testing.B) {
+	for _, rows := range []int{1000, 10000} {
+		left := benchFrame(rows, 1)
+		right := benchFrame(rows/2, 2)
+		b.Run(fmt.Sprintf("%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := left.Join(right, "id", Left, "op"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	for _, rows := range []int{1000, 10000} {
+		f := benchFrame(rows, 3)
+		aggs := []Agg{{Col: "v", Kind: AggMean}, {Col: "v", Kind: AggSum}, {Col: "v", Kind: AggMax}}
+		b.Run(fmt.Sprintf("%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.GroupBy("id", aggs, "op"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOneHot(b *testing.B) {
+	f := benchFrame(10000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.OneHot("cat", "op"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilter(b *testing.B) {
+	f := benchFrame(10000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.FilterFloat("v", func(v float64) bool { return v > 0 }, "op"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeriveID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		DeriveID("some-operation-hash", "some-column-id")
+	}
+}

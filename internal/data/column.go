@@ -1,0 +1,208 @@
+package data
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+)
+
+// Column is a single named, typed vector of values plus its lineage ID.
+//
+// Exactly one of the value slices is non-nil, selected by Type. Columns are
+// treated as immutable once attached to a Frame: operations that change
+// values allocate a new Column with a freshly derived ID, while operations
+// that merely carry a column along share the pointer (and therefore the
+// underlying array and the ID).
+type Column struct {
+	// ID is the lineage identifier: H(opHash ‖ inputID) for derived
+	// columns, H("src" ‖ dataset ‖ name) for source columns. Two columns
+	// have equal IDs iff the same operations were applied to the same
+	// source column.
+	ID   string
+	Name string
+	Type DType
+
+	Floats  []float64
+	Ints    []int64
+	Strings []string
+	Bools   []bool
+}
+
+// DeriveID computes the lineage ID of a column produced by the operation
+// identified by opHash from the column identified by inputID. The empty
+// inputID is allowed for columns created from nothing (e.g. a literal).
+func DeriveID(opHash, inputID string) string {
+	h := sha256.Sum256([]byte(opHash + "\x00" + inputID))
+	return hex.EncodeToString(h[:16])
+}
+
+// SourceID computes the lineage ID of a raw source column.
+func SourceID(dataset, column string) string {
+	h := sha256.Sum256([]byte("src\x00" + dataset + "\x00" + column))
+	return hex.EncodeToString(h[:16])
+}
+
+// NewFloatColumn builds a Float64 column with a source lineage ID derived
+// from name alone; callers that need operation lineage should set ID
+// explicitly or use DeriveID.
+func NewFloatColumn(name string, vals []float64) *Column {
+	return &Column{ID: SourceID("", name), Name: name, Type: Float64, Floats: vals}
+}
+
+// NewIntColumn builds an Int64 column.
+func NewIntColumn(name string, vals []int64) *Column {
+	return &Column{ID: SourceID("", name), Name: name, Type: Int64, Ints: vals}
+}
+
+// NewStringColumn builds a String column.
+func NewStringColumn(name string, vals []string) *Column {
+	return &Column{ID: SourceID("", name), Name: name, Type: String, Strings: vals}
+}
+
+// NewBoolColumn builds a Bool column.
+func NewBoolColumn(name string, vals []bool) *Column {
+	return &Column{ID: SourceID("", name), Name: name, Type: Bool, Bools: vals}
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	switch c.Type {
+	case Float64:
+		return len(c.Floats)
+	case Int64:
+		return len(c.Ints)
+	case String:
+		return len(c.Strings)
+	case Bool:
+		return len(c.Bools)
+	default:
+		return 0
+	}
+}
+
+// SizeBytes returns the storage footprint of the column's content. String
+// cells cost their byte length plus a 16-byte header; fixed-width cells cost
+// their width. This is the byte count the storage manager and the budget
+// accounting use.
+func (c *Column) SizeBytes() int64 {
+	switch c.Type {
+	case Float64:
+		return int64(len(c.Floats)) * 8
+	case Int64:
+		return int64(len(c.Ints)) * 8
+	case String:
+		var n int64
+		for _, s := range c.Strings {
+			n += int64(len(s)) + 16
+		}
+		return n
+	case Bool:
+		return int64(len(c.Bools))
+	default:
+		return 0
+	}
+}
+
+// Float returns the value at row i converted to float64. Strings yield NaN;
+// missing floats are NaN already.
+func (c *Column) Float(i int) float64 {
+	switch c.Type {
+	case Float64:
+		return c.Floats[i]
+	case Int64:
+		return float64(c.Ints[i])
+	case Bool:
+		if c.Bools[i] {
+			return 1
+		}
+		return 0
+	default:
+		return math.NaN()
+	}
+}
+
+// StringAt returns the value at row i rendered as a string.
+func (c *Column) StringAt(i int) string {
+	switch c.Type {
+	case Float64:
+		return fmt.Sprintf("%g", c.Floats[i])
+	case Int64:
+		return fmt.Sprintf("%d", c.Ints[i])
+	case String:
+		return c.Strings[i]
+	case Bool:
+		return fmt.Sprintf("%t", c.Bools[i])
+	default:
+		return ""
+	}
+}
+
+// IsMissing reports whether the value at row i encodes a missing value
+// (NaN for floats, empty string for strings). Ints and bools are never
+// missing.
+func (c *Column) IsMissing(i int) bool {
+	switch c.Type {
+	case Float64:
+		return math.IsNaN(c.Floats[i])
+	case String:
+		return c.Strings[i] == ""
+	default:
+		return false
+	}
+}
+
+// Gather returns a new column containing the rows of c selected by idx, in
+// order. The result carries the provided lineage ID.
+func (c *Column) Gather(idx []int, id string) *Column {
+	out := &Column{ID: id, Name: c.Name, Type: c.Type}
+	switch c.Type {
+	case Float64:
+		out.Floats = make([]float64, len(idx))
+		for j, i := range idx {
+			if i < 0 {
+				out.Floats[j] = math.NaN()
+			} else {
+				out.Floats[j] = c.Floats[i]
+			}
+		}
+	case Int64:
+		out.Ints = make([]int64, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.Ints[j] = c.Ints[i]
+			}
+		}
+	case String:
+		out.Strings = make([]string, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.Strings[j] = c.Strings[i]
+			}
+		}
+	case Bool:
+		out.Bools = make([]bool, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.Bools[j] = c.Bools[i]
+			}
+		}
+	}
+	return out
+}
+
+// Rename returns a column sharing c's data but carrying a new name and a
+// lineage ID derived from the renaming operation.
+func (c *Column) Rename(name, opHash string) *Column {
+	out := *c
+	out.Name = name
+	out.ID = DeriveID(opHash, c.ID)
+	return &out
+}
+
+// WithID returns a shallow copy of c carrying the given lineage ID.
+func (c *Column) WithID(id string) *Column {
+	out := *c
+	out.ID = id
+	return &out
+}

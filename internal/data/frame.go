@@ -1,0 +1,240 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Frame is an ordered collection of equal-length columns — the dataframe
+// type of this repository. Frames are cheap to copy: the struct holds only
+// a slice of column pointers and a name index. Operations never mutate an
+// existing frame; they return new frames that share unaffected columns.
+type Frame struct {
+	cols   []*Column
+	byName map[string]int
+}
+
+// NewFrame builds a frame from the given columns. All columns must have the
+// same length and distinct names.
+func NewFrame(cols ...*Column) (*Frame, error) {
+	f := &Frame{byName: make(map[string]int, len(cols))}
+	for _, c := range cols {
+		if err := f.add(c); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// MustNewFrame is NewFrame that panics on error; intended for tests and
+// generators with statically known shapes.
+func MustNewFrame(cols ...*Column) *Frame {
+	f, err := NewFrame(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (f *Frame) add(c *Column) error {
+	if _, dup := f.byName[c.Name]; dup {
+		return fmt.Errorf("data: duplicate column %q", c.Name)
+	}
+	if len(f.cols) > 0 && c.Len() != f.cols[0].Len() {
+		return fmt.Errorf("data: column %q has %d rows, frame has %d", c.Name, c.Len(), f.cols[0].Len())
+	}
+	f.byName[c.Name] = len(f.cols)
+	f.cols = append(f.cols, c)
+	return nil
+}
+
+// NumRows returns the number of rows.
+func (f *Frame) NumRows() int {
+	if len(f.cols) == 0 {
+		return 0
+	}
+	return f.cols[0].Len()
+}
+
+// NumCols returns the number of columns.
+func (f *Frame) NumCols() int { return len(f.cols) }
+
+// Columns returns the frame's columns in order. The slice must not be
+// mutated.
+func (f *Frame) Columns() []*Column { return f.cols }
+
+// ColumnNames returns the column names in order.
+func (f *Frame) ColumnNames() []string {
+	names := make([]string, len(f.cols))
+	for i, c := range f.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Column returns the named column, or nil if absent.
+func (f *Frame) Column(name string) *Column {
+	if i, ok := f.byName[name]; ok {
+		return f.cols[i]
+	}
+	return nil
+}
+
+// HasColumn reports whether the named column exists.
+func (f *Frame) HasColumn(name string) bool {
+	_, ok := f.byName[name]
+	return ok
+}
+
+// SizeBytes returns the total content size of the frame.
+func (f *Frame) SizeBytes() int64 {
+	var n int64
+	for _, c := range f.cols {
+		n += c.SizeBytes()
+	}
+	return n
+}
+
+// ColumnIDs returns the lineage IDs of all columns, in column order. The
+// storage manager uses these as content-addressing keys.
+func (f *Frame) ColumnIDs() []string {
+	ids := make([]string, len(f.cols))
+	for i, c := range f.cols {
+		ids[i] = c.ID
+	}
+	return ids
+}
+
+// Select returns a frame with only the named columns, in the given order.
+// Selected columns are shared (same IDs, same arrays).
+func (f *Frame) Select(names ...string) (*Frame, error) {
+	out := &Frame{byName: make(map[string]int, len(names))}
+	for _, name := range names {
+		c := f.Column(name)
+		if c == nil {
+			return nil, fmt.Errorf("data: select: no column %q", name)
+		}
+		if err := out.add(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Drop returns a frame without the named columns. Remaining columns are
+// shared.
+func (f *Frame) Drop(names ...string) (*Frame, error) {
+	dropped := make(map[string]bool, len(names))
+	for _, n := range names {
+		dropped[n] = true
+	}
+	out := &Frame{byName: make(map[string]int)}
+	for _, c := range f.cols {
+		if dropped[c.Name] {
+			continue
+		}
+		if err := out.add(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WithColumn returns a frame with col appended (or replacing a same-named
+// column). All other columns are shared.
+func (f *Frame) WithColumn(col *Column) (*Frame, error) {
+	out := &Frame{byName: make(map[string]int, len(f.cols)+1)}
+	replaced := false
+	for _, c := range f.cols {
+		use := c
+		if c.Name == col.Name {
+			use = col
+			replaced = true
+		}
+		if err := out.add(use); err != nil {
+			return nil, err
+		}
+	}
+	if !replaced {
+		if err := out.add(col); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Gather returns a frame containing the rows selected by idx in order. Every
+// column is re-materialized and receives an ID derived from opHash, because
+// a row-selection affects all columns.
+func (f *Frame) Gather(idx []int, opHash string) *Frame {
+	out := &Frame{byName: make(map[string]int, len(f.cols))}
+	for _, c := range f.cols {
+		nc := c.Gather(idx, DeriveID(opHash, c.ID))
+		// add cannot fail: names unique, lengths equal by construction.
+		_ = out.add(nc)
+	}
+	return out
+}
+
+// Head returns the first n rows (all rows if n exceeds the row count).
+func (f *Frame) Head(n int, opHash string) *Frame {
+	if n > f.NumRows() {
+		n = f.NumRows()
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return f.Gather(idx, opHash)
+}
+
+// NumericMatrix converts the named columns (all columns when names is empty)
+// to a dense row-major matrix of float64, substituting 0 for missing values
+// and non-numeric cells. It returns the matrix and the column names used.
+func (f *Frame) NumericMatrix(names ...string) ([][]float64, []string) {
+	cols := f.cols
+	if len(names) > 0 {
+		cols = make([]*Column, 0, len(names))
+		for _, n := range names {
+			if c := f.Column(n); c != nil {
+				cols = append(cols, c)
+			}
+		}
+	} else {
+		numeric := make([]*Column, 0, len(cols))
+		for _, c := range cols {
+			if c.Type.IsNumeric() {
+				numeric = append(numeric, c)
+			}
+		}
+		cols = numeric
+	}
+	rows := f.NumRows()
+	m := make([][]float64, rows)
+	flat := make([]float64, rows*len(cols))
+	used := make([]string, len(cols))
+	for j, c := range cols {
+		used[j] = c.Name
+	}
+	for i := 0; i < rows; i++ {
+		m[i], flat = flat[:len(cols)], flat[len(cols):]
+		for j, c := range cols {
+			if c.IsMissing(i) {
+				m[i][j] = 0
+			} else {
+				m[i][j] = c.Float(i)
+			}
+		}
+	}
+	return m, used
+}
+
+// String renders a compact, deterministic description of the frame: its
+// shape and the sorted column names. Used in logs and error messages, not
+// for data display.
+func (f *Frame) String() string {
+	names := f.ColumnNames()
+	sort.Strings(names)
+	return fmt.Sprintf("Frame[%dx%d: %s]", f.NumRows(), f.NumCols(), strings.Join(names, ","))
+}

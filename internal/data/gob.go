@@ -1,0 +1,30 @@
+package data
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// GobEncode implements gob.GobEncoder: a frame serializes as its ordered
+// column list (the name index is rebuilt on decode).
+func (f *Frame) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f.cols); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (f *Frame) GobDecode(b []byte) error {
+	var cols []*Column
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&cols); err != nil {
+		return err
+	}
+	rebuilt, err := NewFrame(cols...)
+	if err != nil {
+		return err
+	}
+	*f = *rebuilt
+	return nil
+}

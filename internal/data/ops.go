@@ -1,0 +1,439 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FilterFloat returns the rows of f where pred(column value) is true. Row
+// selection affects every column, so all output columns get IDs derived
+// from opHash.
+func (f *Frame) FilterFloat(col string, pred func(float64) bool, opHash string) (*Frame, error) {
+	c := f.Column(col)
+	if c == nil {
+		return nil, fmt.Errorf("data: filter: no column %q", col)
+	}
+	var idx []int
+	for i := 0; i < c.Len(); i++ {
+		if pred(c.Float(i)) {
+			idx = append(idx, i)
+		}
+	}
+	return f.Gather(idx, opHash), nil
+}
+
+// FilterString returns the rows of f where pred(string value) is true.
+func (f *Frame) FilterString(col string, pred func(string) bool, opHash string) (*Frame, error) {
+	c := f.Column(col)
+	if c == nil {
+		return nil, fmt.Errorf("data: filter: no column %q", col)
+	}
+	if c.Type != String {
+		return nil, fmt.Errorf("data: filter: column %q is %s, want string", col, c.Type)
+	}
+	var idx []int
+	for i, s := range c.Strings {
+		if pred(s) {
+			idx = append(idx, i)
+		}
+	}
+	return f.Gather(idx, opHash), nil
+}
+
+// MapFloat replaces column col with fn applied element-wise (reading the
+// column as float64). Only that column's lineage ID changes.
+func (f *Frame) MapFloat(col string, fn func(float64) float64, opHash string) (*Frame, error) {
+	c := f.Column(col)
+	if c == nil {
+		return nil, fmt.Errorf("data: map: no column %q", col)
+	}
+	vals := make([]float64, c.Len())
+	for i := range vals {
+		vals[i] = fn(c.Float(i))
+	}
+	nc := &Column{ID: DeriveID(opHash, c.ID), Name: c.Name, Type: Float64, Floats: vals}
+	return f.WithColumn(nc)
+}
+
+// DeriveFloat appends a new float column named out computed row-wise from
+// the named input columns. The new column's ID derives from opHash and the
+// concatenated input IDs; existing columns are untouched.
+func (f *Frame) DeriveFloat(out string, inputs []string, fn func([]float64) float64, opHash string) (*Frame, error) {
+	in := make([]*Column, len(inputs))
+	lineage := ""
+	for i, name := range inputs {
+		c := f.Column(name)
+		if c == nil {
+			return nil, fmt.Errorf("data: derive: no column %q", name)
+		}
+		in[i] = c
+		lineage += c.ID
+	}
+	rows := f.NumRows()
+	vals := make([]float64, rows)
+	args := make([]float64, len(in))
+	for i := 0; i < rows; i++ {
+		for j, c := range in {
+			args[j] = c.Float(i)
+		}
+		vals[i] = fn(args)
+	}
+	nc := &Column{ID: DeriveID(opHash+"\x01"+out, lineage), Name: out, Type: Float64, Floats: vals}
+	return f.WithColumn(nc)
+}
+
+// FillNA replaces missing values in the named float columns (all float
+// columns when names is empty) with the column mean. Only touched columns
+// get new IDs.
+func (f *Frame) FillNA(opHash string, names ...string) (*Frame, error) {
+	target := make(map[string]bool, len(names))
+	for _, n := range names {
+		target[n] = true
+	}
+	out := &Frame{byName: make(map[string]int, len(f.cols))}
+	for _, c := range f.cols {
+		if c.Type != Float64 || (len(names) > 0 && !target[c.Name]) {
+			if err := out.add(c); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		var sum float64
+		var n int
+		missing := false
+		for _, v := range c.Floats {
+			if math.IsNaN(v) {
+				missing = true
+				continue
+			}
+			sum += v
+			n++
+		}
+		if !missing {
+			if err := out.add(c); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		mean := 0.0
+		if n > 0 {
+			mean = sum / float64(n)
+		}
+		vals := make([]float64, len(c.Floats))
+		for i, v := range c.Floats {
+			if math.IsNaN(v) {
+				vals[i] = mean
+			} else {
+				vals[i] = v
+			}
+		}
+		nc := &Column{ID: DeriveID(opHash, c.ID), Name: c.Name, Type: Float64, Floats: vals}
+		if err := out.add(nc); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// OneHot expands the named string column into one 0/1 float column per
+// distinct value ("name=value"), dropping the original. Categories are
+// emitted in sorted order for determinism. Other columns are shared.
+func (f *Frame) OneHot(col string, opHash string) (*Frame, error) {
+	c := f.Column(col)
+	if c == nil {
+		return nil, fmt.Errorf("data: onehot: no column %q", col)
+	}
+	if c.Type != String {
+		return nil, fmt.Errorf("data: onehot: column %q is %s, want string", col, c.Type)
+	}
+	cats := make(map[string]bool)
+	for _, s := range c.Strings {
+		if s != "" {
+			cats[s] = true
+		}
+	}
+	sorted := make([]string, 0, len(cats))
+	for s := range cats {
+		sorted = append(sorted, s)
+	}
+	sort.Strings(sorted)
+
+	out, err := f.Drop(col)
+	if err != nil {
+		return nil, err
+	}
+	for _, cat := range sorted {
+		vals := make([]float64, c.Len())
+		for i, s := range c.Strings {
+			if s == cat {
+				vals[i] = 1
+			}
+		}
+		nc := &Column{
+			ID:     DeriveID(opHash+"\x01"+cat, c.ID),
+			Name:   col + "=" + cat,
+			Type:   Float64,
+			Floats: vals,
+		}
+		if out, err = out.WithColumn(nc); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// JoinKind selects the join semantics of Join.
+type JoinKind uint8
+
+const (
+	// Inner keeps only rows with matches on both sides.
+	Inner JoinKind = iota
+	// Left keeps all left rows, filling unmatched right cells with
+	// missing values.
+	Left
+)
+
+// Join performs a hash join of f (left) with right on the named key column,
+// which must exist on both sides. Right-side key columns are dropped from
+// the output; name collisions on non-key columns get a "_r" suffix on the
+// right. Joins re-align rows, so every output column is re-materialized with
+// an opHash-derived ID.
+func (f *Frame) Join(right *Frame, key string, kind JoinKind, opHash string) (*Frame, error) {
+	lk := f.Column(key)
+	rk := right.Column(key)
+	if lk == nil || rk == nil {
+		return nil, fmt.Errorf("data: join: key %q missing (left=%v right=%v)", key, lk != nil, rk != nil)
+	}
+	// Build hash index over the right side, keyed by the string rendering
+	// so int/float keys compare consistently.
+	index := make(map[string][]int, right.NumRows())
+	for i := 0; i < rk.Len(); i++ {
+		k := rk.StringAt(i)
+		index[k] = append(index[k], i)
+	}
+	var lidx, ridx []int
+	for i := 0; i < lk.Len(); i++ {
+		matches := index[lk.StringAt(i)]
+		if len(matches) == 0 {
+			if kind == Left {
+				lidx = append(lidx, i)
+				ridx = append(ridx, -1)
+			}
+			continue
+		}
+		for _, j := range matches {
+			lidx = append(lidx, i)
+			ridx = append(ridx, j)
+		}
+	}
+	out := &Frame{byName: make(map[string]int, f.NumCols()+right.NumCols())}
+	for _, c := range f.cols {
+		nc := c.Gather(lidx, DeriveID(opHash+"\x01L", c.ID))
+		if err := out.add(nc); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range right.cols {
+		if c.Name == key {
+			continue
+		}
+		nc := c.Gather(ridx, DeriveID(opHash+"\x01R", c.ID))
+		if out.HasColumn(nc.Name) {
+			nc.Name += "_r"
+		}
+		if err := out.add(nc); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ConcatColumns appends the columns of others to f. Row counts must match;
+// duplicate names get "_k" suffixes. Columns are shared (pandas concat with
+// axis=1 on aligned frames).
+func (f *Frame) ConcatColumns(others ...*Frame) (*Frame, error) {
+	out := &Frame{byName: make(map[string]int)}
+	for _, c := range f.cols {
+		if err := out.add(c); err != nil {
+			return nil, err
+		}
+	}
+	for k, o := range others {
+		if o.NumRows() != f.NumRows() && f.NumCols() > 0 && o.NumCols() > 0 {
+			return nil, fmt.Errorf("data: concat: row mismatch %d vs %d", f.NumRows(), o.NumRows())
+		}
+		for _, c := range o.cols {
+			use := c
+			if out.HasColumn(c.Name) {
+				use = c.WithID(c.ID)
+				use.Name = fmt.Sprintf("%s_%d", c.Name, k+1)
+			}
+			if err := out.add(use); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// AggKind enumerates group-by aggregate functions.
+type AggKind uint8
+
+const (
+	// AggMean averages non-missing values.
+	AggMean AggKind = iota
+	// AggSum totals non-missing values.
+	AggSum
+	// AggMin takes the minimum of non-missing values.
+	AggMin
+	// AggMax takes the maximum of non-missing values.
+	AggMax
+	// AggCount counts rows in the group.
+	AggCount
+)
+
+func (a AggKind) String() string {
+	switch a {
+	case AggMean:
+		return "mean"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(a))
+	}
+}
+
+// Agg names one aggregation: apply Kind to column Col.
+type Agg struct {
+	Col  string
+	Kind AggKind
+}
+
+// GroupBy groups f by the key column and computes the requested aggregates.
+// The output has one row per distinct key (sorted) with columns key,
+// "col_kind"... Aggregation produces entirely new data, so all output
+// columns carry opHash-derived IDs.
+func (f *Frame) GroupBy(key string, aggs []Agg, opHash string) (*Frame, error) {
+	kc := f.Column(key)
+	if kc == nil {
+		return nil, fmt.Errorf("data: groupby: no column %q", key)
+	}
+	groups := make(map[string][]int)
+	order := make([]string, 0)
+	for i := 0; i < kc.Len(); i++ {
+		k := kc.StringAt(i)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	sort.Strings(order)
+
+	keyOut := kc.Gather(firstIndices(groups, order), DeriveID(opHash+"\x01key", kc.ID))
+	out, err := NewFrame(keyOut)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range aggs {
+		c := f.Column(a.Col)
+		if c == nil {
+			return nil, fmt.Errorf("data: groupby: no column %q", a.Col)
+		}
+		vals := make([]float64, len(order))
+		for gi, k := range order {
+			vals[gi] = aggregate(c, groups[k], a.Kind)
+		}
+		name := a.Col + "_" + a.Kind.String()
+		nc := &Column{
+			ID:     DeriveID(opHash+"\x01"+name, c.ID),
+			Name:   name,
+			Type:   Float64,
+			Floats: vals,
+		}
+		if out, err = out.WithColumn(nc); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func firstIndices(groups map[string][]int, order []string) []int {
+	idx := make([]int, len(order))
+	for i, k := range order {
+		idx[i] = groups[k][0]
+	}
+	return idx
+}
+
+func aggregate(c *Column, rows []int, kind AggKind) float64 {
+	if kind == AggCount {
+		return float64(len(rows))
+	}
+	var sum float64
+	mn, mx := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, i := range rows {
+		if c.IsMissing(i) {
+			continue
+		}
+		v := c.Float(i)
+		sum += v
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		n++
+	}
+	switch kind {
+	case AggSum:
+		return sum
+	case AggMean:
+		if n == 0 {
+			return math.NaN()
+		}
+		return sum / float64(n)
+	case AggMin:
+		if n == 0 {
+			return math.NaN()
+		}
+		return mn
+	case AggMax:
+		if n == 0 {
+			return math.NaN()
+		}
+		return mx
+	default:
+		return math.NaN()
+	}
+}
+
+// Align removes from both frames every column whose name does not appear in
+// the other, returning the two reduced frames (the paper's "alignment
+// operation", §7.2). Shared columns are carried through unchanged on both
+// sides.
+func Align(a, b *Frame) (*Frame, *Frame, error) {
+	common := make([]string, 0)
+	for _, c := range a.cols {
+		if b.HasColumn(c.Name) {
+			common = append(common, c.Name)
+		}
+	}
+	ra, err := a.Select(common...)
+	if err != nil {
+		return nil, nil, err
+	}
+	rb, err := b.Select(common...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ra, rb, nil
+}

@@ -1,0 +1,434 @@
+// Package eg implements the Experiment Graph (§3.2): the union of all
+// executed workload DAGs. Vertices carry the paper's ⟨f, t, s, mat⟩
+// attributes plus model quality q and artifact meta-data; edges carry
+// operation hashes. The graph stores meta-data for every artifact ever
+// executed; artifact content lives in the storage manager and only for the
+// vertices the materializer selected.
+package eg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Vertex is one artifact's bookkeeping record in the Experiment Graph.
+type Vertex struct {
+	ID   string
+	Kind graph.Kind
+	Name string
+
+	// Frequency counts the workloads this artifact appeared in (f).
+	Frequency int
+	// ComputeTime is the measured execution time of the producing
+	// operation (t).
+	ComputeTime time.Duration
+	// SizeBytes is the measured content size (s).
+	SizeBytes int64
+	// Materialized reports whether content is currently stored (mat).
+	Materialized bool
+	// Quality is the evaluation score q for model vertices, 0 otherwise.
+	Quality float64
+	// External marks artifacts produced by third-party integrations that
+	// the optimizer may never materialize (§4.2).
+	External bool
+	// Meta carries artifact meta-data: column names for datasets,
+	// hyperparameters for models (§3.2).
+	Meta map[string]string
+
+	// Parents and Children are vertex IDs; OpHash identifies the edge
+	// into this vertex (the producing operation).
+	Parents  []string
+	Children []string
+	OpHash   string
+	// Op is the producing operation itself when known (in-process
+	// execution; nil for vertices learned over the wire). It powers the
+	// §9 future-work features: automatic pipeline construction and
+	// hyperparameter tuning. It is not persisted across restarts.
+	Op graph.Operation
+
+	// Columns lists the lineage column IDs of dataset artifacts, used by
+	// the storage-aware materializer's deduplication.
+	Columns []string
+	// LastSeen is the graph's merge counter when this vertex last
+	// appeared in a workload (the idle clock of PrunePolicy).
+	LastSeen int
+}
+
+// IsSource reports whether the vertex is a raw dataset.
+func (v *Vertex) IsSource() bool { return len(v.Parents) == 0 && v.Kind != graph.SupernodeKind }
+
+// Graph is the Experiment Graph. It is safe for concurrent use.
+type Graph struct {
+	mu       sync.RWMutex
+	vertices map[string]*Vertex
+	sources  []string
+	// colSizes maps lineage column ID → content bytes, populated by the
+	// updater so dedup sizing works without loading content.
+	colSizes map[string]int64
+	// mergeCount counts merged workloads (the Prune idle clock).
+	mergeCount int
+}
+
+// New returns an empty Experiment Graph.
+func New() *Graph {
+	return &Graph{
+		vertices: make(map[string]*Vertex),
+		colSizes: make(map[string]int64),
+	}
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.vertices)
+}
+
+// Vertex returns a copy-safe pointer to the vertex with the given ID, or
+// nil. Callers must treat the vertex as read-only; mutations go through
+// Graph methods.
+func (g *Graph) Vertex(id string) *Vertex {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.vertices[id]
+}
+
+// Has reports whether the vertex exists.
+func (g *Graph) Has(id string) bool { return g.Vertex(id) != nil }
+
+// Sources returns the source vertex IDs.
+func (g *Graph) Sources() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]string(nil), g.sources...)
+}
+
+// ColumnSize returns the recorded content size of a lineage column ID.
+func (g *Graph) ColumnSize(id string) int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.colSizes[id]
+}
+
+// externalOp detects operations whose outputs must never be materialized.
+type externalOp interface{ External() bool }
+
+// Merge unions an executed workload DAG into the Experiment Graph (§3.2,
+// updater task two): it inserts missing vertices and edges, increments the
+// frequency of every vertex the workload touched, and refreshes measured
+// compute times, sizes, and model qualities. It returns the IDs of vertices
+// that were newly inserted.
+func (g *Graph) Merge(w *graph.DAG) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.mergeCount++
+	var inserted []string
+	for _, n := range w.Nodes() {
+		v, ok := g.vertices[n.ID]
+		if !ok {
+			v = &Vertex{
+				ID:   n.ID,
+				Kind: n.Kind,
+				Name: n.Name,
+			}
+			for _, p := range n.Parents {
+				v.Parents = append(v.Parents, p.ID)
+			}
+			if n.Op != nil {
+				v.OpHash = n.Op.Hash()
+				v.Op = n.Op
+				if ext, isExt := n.Op.(externalOp); isExt && ext.External() {
+					v.External = true
+				}
+			}
+			g.vertices[n.ID] = v
+			for _, p := range n.Parents {
+				if pv := g.vertices[p.ID]; pv != nil {
+					pv.Children = append(pv.Children, n.ID)
+				}
+			}
+			if v.IsSource() {
+				g.sources = append(g.sources, v.ID)
+			}
+			inserted = append(inserted, v.ID)
+		}
+		v.Frequency++
+		v.LastSeen = g.mergeCount
+		// Refresh measurements from this execution when available.
+		if n.ComputeTime > 0 {
+			v.ComputeTime = n.ComputeTime
+		}
+		if n.SizeBytes > 0 {
+			v.SizeBytes = n.SizeBytes
+		}
+		if n.Quality > 0 {
+			v.Quality = n.Quality
+		}
+		if n.Content != nil {
+			g.annotateContentLocked(v, n.Content)
+		}
+	}
+	return inserted
+}
+
+// annotateContentLocked records meta-data and column lineage from content.
+func (g *Graph) annotateContentLocked(v *Vertex, content graph.Artifact) {
+	switch a := content.(type) {
+	case *graph.DatasetArtifact:
+		if a.Frame == nil {
+			return
+		}
+		v.Columns = v.Columns[:0]
+		if v.Meta == nil {
+			v.Meta = make(map[string]string)
+		}
+		v.Meta["rows"] = fmt.Sprintf("%d", a.Frame.NumRows())
+		v.Meta["cols"] = fmt.Sprintf("%d", a.Frame.NumCols())
+		for _, c := range a.Frame.Columns() {
+			v.Columns = append(v.Columns, c.ID)
+			g.colSizes[c.ID] = c.SizeBytes()
+		}
+	case *graph.ModelArtifact:
+		if v.Meta == nil {
+			v.Meta = make(map[string]string)
+		}
+		if a.Model != nil {
+			v.Meta["model"] = a.Model.Kind()
+		}
+		v.Meta["quality"] = fmt.Sprintf("%.4f", a.Quality)
+	}
+}
+
+// RecordColumns registers a vertex's column lineage and per-column sizes
+// without content — the remote-update path, where clients ship meta-data
+// only (the in-process path records this from artifact content in Merge).
+func (g *Graph) RecordColumns(id string, colIDs []string, sizes []int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.vertices[id]
+	if !ok || len(colIDs) != len(sizes) {
+		return
+	}
+	v.Columns = append(v.Columns[:0], colIDs...)
+	for i, c := range colIDs {
+		g.colSizes[c] = sizes[i]
+	}
+}
+
+// RecordMeta sets one meta-data entry on a vertex (remote-update path).
+func (g *Graph) RecordMeta(id, key, value string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v, ok := g.vertices[id]; ok {
+		if v.Meta == nil {
+			v.Meta = make(map[string]string)
+		}
+		v.Meta[key] = value
+	}
+}
+
+// SetMaterialized flips the mat attribute of a vertex.
+func (g *Graph) SetMaterialized(id string, mat bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v, ok := g.vertices[id]; ok {
+		v.Materialized = mat
+	}
+}
+
+// MaterializedIDs returns the IDs of all materialized vertices, sorted.
+func (g *Graph) MaterializedIDs() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []string
+	for id, v := range g.vertices {
+		if v.Materialized {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TopoOrder returns all vertex IDs in a topological order (parents before
+// children), deterministic for a given graph.
+func (g *Graph) TopoOrder() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.topoOrderLocked()
+}
+
+func (g *Graph) topoOrderLocked() []string {
+	indeg := make(map[string]int, len(g.vertices))
+	ids := make([]string, 0, len(g.vertices))
+	for id, v := range g.vertices {
+		ids = append(ids, id)
+		indeg[id] = len(v.Parents)
+	}
+	sort.Strings(ids)
+	var queue []string
+	for _, id := range ids {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	out := make([]string, 0, len(ids))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		out = append(out, id)
+		for _, c := range g.vertices[id].Children {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	return out
+}
+
+// TopoOrderOf returns the given vertex IDs ordered topologically with
+// respect to the edges among them (the induced subgraph), in O(|ids| +
+// edges-within) — the restricted ordering the §5.2 incremental
+// materializer needs. Unknown IDs are dropped.
+func (g *Graph) TopoOrderOf(ids []string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	member := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := g.vertices[id]; ok {
+			member[id] = true
+		}
+	}
+	indeg := make(map[string]int, len(member))
+	for id := range member {
+		for _, p := range g.vertices[id].Parents {
+			if member[p] {
+				indeg[id]++
+			}
+		}
+	}
+	queue := make([]string, 0, len(member))
+	for id := range member {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Strings(queue) // deterministic seed order
+	out := make([]string, 0, len(member))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		out = append(out, id)
+		for _, c := range g.vertices[id].Children {
+			if !member[c] {
+				continue
+			}
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	return out
+}
+
+// RecreationCosts computes Cr(v) for every vertex in one pass over the
+// graph in topological order: Cr(v) = t(v) + Σ over parents Cr(p). This is
+// the paper's incremental one-pass computation (§5.2 "Run-time and
+// Complexity") and deliberately shares the cost semantics of Algorithm 2's
+// forward pass.
+func (g *Graph) RecreationCosts() map[string]time.Duration {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[string]time.Duration, len(g.vertices))
+	for _, id := range g.topoOrderLocked() {
+		v := g.vertices[id]
+		cr := v.ComputeTime
+		for _, p := range v.Parents {
+			cr += out[p]
+		}
+		out[id] = cr
+	}
+	return out
+}
+
+// Potentials computes p(v) for every vertex in one reverse-topological
+// pass: the quality of the best model reachable from v (§5.1), 0 when no
+// model is reachable.
+func (g *Graph) Potentials() map[string]float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	order := g.topoOrderLocked()
+	out := make(map[string]float64, len(g.vertices))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := g.vertices[order[i]]
+		p := 0.0
+		if v.Kind == graph.ModelKind {
+			p = v.Quality
+		}
+		for _, c := range v.Children {
+			if out[c] > p {
+				p = out[c]
+			}
+		}
+		out[v.ID] = p
+	}
+	return out
+}
+
+// Vertices returns all vertices (read-only view), sorted by ID.
+func (g *Graph) Vertices() []*Vertex {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*Vertex, 0, len(g.vertices))
+	for _, v := range g.vertices {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// TotalLogicalSize sums SizeBytes over the given vertex IDs (no dedup).
+func (g *Graph) TotalLogicalSize(ids []string) int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var n int64
+	for _, id := range ids {
+		if v, ok := g.vertices[id]; ok {
+			n += v.SizeBytes
+		}
+	}
+	return n
+}
+
+// DedupedSize computes the physical bytes needed to store the given vertex
+// set under column deduplication: unique dataset columns are counted once;
+// non-dataset artifacts count their full size.
+func (g *Graph) DedupedSize(ids []string) int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[string]bool)
+	var n int64
+	for _, id := range ids {
+		v, ok := g.vertices[id]
+		if !ok {
+			continue
+		}
+		if len(v.Columns) == 0 {
+			n += v.SizeBytes
+			continue
+		}
+		for _, col := range v.Columns {
+			if !seen[col] {
+				seen[col] = true
+				n += g.colSizes[col]
+			}
+		}
+	}
+	return n
+}

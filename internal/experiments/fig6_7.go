@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/materialize"
+	"repro/internal/reuse"
+	"repro/internal/workloads/kaggle"
+)
+
+// matStrategies returns the four materialization strategies of §7.3 under
+// the suite's profile.
+func (s *Suite) matStrategies() []materialize.Strategy {
+	cfg := materialize.Config{Alpha: 0.5, Profile: s.Profile}
+	return []materialize.Strategy{
+		materialize.NewStorageAware(cfg),
+		materialize.NewGreedy(cfg),
+		materialize.NewHelix(cfg),
+		materialize.NewAll(),
+	}
+}
+
+// Fig6Result is one line of Figure 6: the real (logical) size of stored
+// artifacts after each workload, for one strategy at one budget.
+type Fig6Result struct {
+	Strategy  string
+	Budget    string
+	SizeAfter []int64 // bytes after workloads 1..8
+}
+
+// Fig6 reproduces "Real size of the materialized artifacts": run the
+// 8-workload sequence per strategy and budget, recording the stored
+// logical bytes after each workload. Expected shape: SA's real size
+// exceeds its budget (deduplication), approaching ALL; HM saturates at the
+// budget; HL stays at or below it.
+func (s *Suite) Fig6() ([]Fig6Result, error) {
+	total, err := s.TotalArtifactBytes()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig6Result
+	s.printf("Figure 6: real size of materialized artifacts (MB after each workload)\n")
+	for _, level := range BudgetLevels() {
+		budget := int64(level.Fraction * float64(total))
+		for _, strat := range s.matStrategies() {
+			srv := s.newServer(strat, reuse.Linear{}, budget)
+			res := Fig6Result{Strategy: strat.Name(), Budget: level.Label}
+			for _, wl := range kaggle.AllWorkloads() {
+				if _, _, err := s.runWorkload(srv, wl); err != nil {
+					return nil, err
+				}
+				res.SizeAfter = append(res.SizeAfter, storedArtifactBytes(srv))
+			}
+			out = append(out, res)
+			s.printf("  budget=%-5s %-4s", res.Budget, res.Strategy)
+			for _, b := range res.SizeAfter {
+				s.printf(" %7.1f", float64(b)/(1<<20))
+			}
+			s.printf("\n")
+		}
+	}
+	return out, nil
+}
+
+// Fig7aResult is one bar of Figure 7(a): total sequence run time for one
+// strategy at one budget.
+type Fig7aResult struct {
+	Strategy string
+	Budget   string
+	Total    time.Duration
+}
+
+// Fig7a reproduces "Total run-time" across budgets and strategies.
+// Expected shape: SA ≈ ALL even at small budgets; HM trails at small
+// budgets; HL is worst for budgets ≤ 16 GB-equivalent.
+func (s *Suite) Fig7a() ([]Fig7aResult, error) {
+	total, err := s.TotalArtifactBytes()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig7aResult
+	s.printf("Figure 7(a): total run time by budget and strategy (seconds)\n")
+	for _, level := range BudgetLevels() {
+		budget := int64(level.Fraction * float64(total))
+		for _, strat := range s.matStrategies() {
+			srv := s.newServer(strat, reuse.Linear{}, budget)
+			var sum time.Duration
+			for _, wl := range kaggle.AllWorkloads() {
+				r, _, err := s.runWorkload(srv, wl)
+				if err != nil {
+					return nil, err
+				}
+				sum += r.RunTime
+			}
+			out = append(out, Fig7aResult{Strategy: strat.Name(), Budget: level.Label, Total: sum})
+			s.printf("  budget=%-5s %-4s total=%8.2fs\n", level.Label, strat.Name(), seconds(sum))
+		}
+	}
+	return out, nil
+}
+
+// Fig7bResult is one line of Figure 7(b): cumulative speedup vs the KG
+// baseline after each workload.
+type Fig7bResult struct {
+	Label   string // "SA-8", "SA-16", "HL-8", "HL-16", "ALL"
+	Speedup []float64
+}
+
+// Fig7b reproduces "Speedup vs baseline". Expected shape: ALL ≈ 2x after
+// the suite; SA close behind (≈1.8–2.0); HL ≈ 1.1–1.3.
+func (s *Suite) Fig7b() ([]Fig7bResult, error) {
+	total, err := s.TotalArtifactBytes()
+	if err != nil {
+		return nil, err
+	}
+	cfg := materialize.Config{Alpha: 0.5, Profile: s.Profile}
+	cases := []struct {
+		label    string
+		strategy materialize.Strategy
+		fraction float64
+	}{
+		{"SA-8", materialize.NewStorageAware(cfg), 1.0 / 16},
+		{"SA-16", materialize.NewStorageAware(cfg), 1.0 / 8},
+		{"HL-8", materialize.NewHelix(cfg), 1.0 / 16},
+		{"HL-16", materialize.NewHelix(cfg), 1.0 / 8},
+		{"ALL", materialize.NewAll(), 1},
+	}
+	// KG baseline cumulative times.
+	kg := s.newSystem(sysKG, 0)
+	var kgCum []time.Duration
+	var cum time.Duration
+	for _, wl := range kaggle.AllWorkloads() {
+		r, _, err := s.runWorkload(kg, wl)
+		if err != nil {
+			return nil, err
+		}
+		cum += r.RunTime
+		kgCum = append(kgCum, cum)
+	}
+	var out []Fig7bResult
+	s.printf("Figure 7(b): cumulative speedup vs KG after each workload\n")
+	for _, c := range cases {
+		srv := s.newServer(c.strategy, reuse.Linear{}, int64(c.fraction*float64(total)))
+		res := Fig7bResult{Label: c.label}
+		var sum time.Duration
+		for i, wl := range kaggle.AllWorkloads() {
+			r, _, err := s.runWorkload(srv, wl)
+			if err != nil {
+				return nil, err
+			}
+			sum += r.RunTime
+			res.Speedup = append(res.Speedup, seconds(kgCum[i])/maxSec(sum))
+		}
+		out = append(out, res)
+		s.printf("  %-6s", res.Label)
+		for _, v := range res.Speedup {
+			s.printf(" %5.2f", v)
+		}
+		s.printf("\n")
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/materialize"
+	"repro/internal/workloads/synth"
+)
+
+// ScalabilityResult is one checkpoint of the extension experiment: how the
+// server-side per-workload latencies behave as the Experiment Graph grows.
+type ScalabilityResult struct {
+	// Workloads merged so far.
+	Workloads int
+	// EGVertices is the Experiment Graph size at the checkpoint.
+	EGVertices int
+	// OptimizeLatency is the reuse-planning time for a fixed probe
+	// workload (expected ~constant: the planner is linear in the
+	// workload, not in EG).
+	OptimizeLatency time.Duration
+	// MaterializeLatency is one full materializer Select pass (expected
+	// to grow with EG).
+	MaterializeLatency time.Duration
+	// IncrementalLatency is one §5.2 incremental SelectIncremental pass
+	// over the same update (expected ~flat, O(|W|+|M|)).
+	IncrementalLatency time.Duration
+}
+
+// FigScalability is an extension beyond the paper's figures: it merges a
+// stream of synthetic workloads into one EG and measures, at exponential
+// checkpoints, the optimize latency of a fixed probe workload and the
+// materialization-selection latency. The paper argues the linear-time
+// reuse algorithm "scales for the high number of incoming ML workloads";
+// this measures that claim directly.
+func (s *Suite) FigScalability() ([]ScalabilityResult, error) {
+	profile := synth.DefaultProfile()
+	profile.MinNodes, profile.MaxNodes = 200, 400
+
+	// A bounded budget keeps |M| (the materialized set) constant-sized,
+	// the precondition of the §5.2 O(|W|+|M|) bound.
+	srv := s.newSystem(sysCO, 1<<33)
+	inc := materialize.NewIncremental(materialize.Config{Alpha: 0.5, Profile: s.Profile})
+	probe := synth.Generate(profile, 424242)
+
+	n := s.SynthWorkloads
+	if n > 2000 {
+		n = 2000 // EG growth saturates the point long before 10k
+	}
+	checkpoints := map[int]bool{n: true}
+	for c := 1; c <= n; c *= 4 {
+		checkpoints[c] = true
+	}
+	var out []ScalabilityResult
+	s.printf("Scalability (extension): server latencies vs Experiment Graph size\n")
+	for wi := 1; wi <= n; wi++ {
+		w := synth.Generate(profile, int64(wi))
+		annotateFromCosts(w)
+		srv.EG.Merge(w.DAG)
+		touched := make([]string, 0, w.DAG.Len())
+		for _, node := range w.DAG.Nodes() {
+			touched = append(touched, node.ID)
+		}
+		startInc := time.Now()
+		inc.SelectIncremental(srv.EG, srv.Budget(), touched)
+		incLat := time.Since(startInc)
+		if !checkpoints[wi] {
+			continue
+		}
+		// Probe optimize latency (median of 5 to damp noise).
+		lat := make([]time.Duration, 5)
+		for k := range lat {
+			start := time.Now()
+			srv.Optimize(probe.DAG)
+			lat[k] = time.Since(start)
+		}
+		opt := median(lat)
+		start := time.Now()
+		srv.Strategy().Select(srv.EG, srv.Budget())
+		mat := time.Since(start)
+		out = append(out, ScalabilityResult{
+			Workloads:          wi,
+			EGVertices:         srv.EG.Len(),
+			OptimizeLatency:    opt,
+			MaterializeLatency: mat,
+			IncrementalLatency: incLat,
+		})
+		s.printf("  workloads=%-5d EG=%-8d optimize=%-12s materialize=%-14s incremental=%s\n",
+			wi, srv.EG.Len(), opt, mat, incLat)
+	}
+	return out, nil
+}
+
+// annotateFromCosts fabricates measured times and sizes on a synthetic
+// workload so EG merging sees realistic attributes.
+func annotateFromCosts(w *synth.Workload) {
+	for _, n := range w.DAG.Nodes() {
+		if c := w.Costs.Compute[n.ID]; c > 0 && !math.IsInf(c, 1) {
+			n.ComputeTime = time.Duration(c * float64(time.Second))
+		}
+		if l := w.Costs.Load[n.ID]; !math.IsInf(l, 1) {
+			// size implied by the load cost (hundreds of MB scale)
+			n.SizeBytes = int64(l * float64(1<<30))
+		} else {
+			n.SizeBytes = 64 << 20
+		}
+	}
+}
+
+func median(xs []time.Duration) time.Duration {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs[len(xs)/2]
+}

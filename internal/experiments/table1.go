@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/workloads/kaggle"
+)
+
+// Table1Row describes one Kaggle workload as in Table 1 of the paper:
+// artifact count N and total artifact size S, plus the measured baseline
+// run time.
+type Table1Row struct {
+	ID          int
+	Description string
+	// Artifacts is N: the number of artifact vertices (supernodes
+	// excluded).
+	Artifacts int
+	// TotalBytes is S: the summed content size of all artifacts.
+	TotalBytes int64
+	// RunTime is the unoptimized execution time.
+	RunTime time.Duration
+}
+
+// Table1 executes every workload once against a fresh baseline server and
+// reports its artifact census.
+func (s *Suite) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	s.printf("Table 1: Kaggle workloads (N artifacts, S total size, baseline run time)\n")
+	for _, wl := range kaggle.AllWorkloads() {
+		srv := s.newSystem(sysKG, 0)
+		res, w, err := s.runWorkload(srv, wl)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{ID: wl.ID, Description: wl.Description, RunTime: res.RunTime}
+		for _, n := range w.Nodes() {
+			if n.Kind == graph.SupernodeKind {
+				continue
+			}
+			row.Artifacts++
+			row.TotalBytes += n.SizeBytes
+		}
+		rows = append(rows, row)
+		s.printf("  W%-2d N=%-4d S=%8.2f MB  runtime=%8.3fs  %s\n",
+			row.ID, row.Artifacts, float64(row.TotalBytes)/(1<<20), seconds(row.RunTime), row.Description)
+	}
+	return rows, nil
+}

@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the workload DAG in Graphviz DOT format for
+// visualization and debugging: artifact vertices are boxes (models:
+// ellipses, aggregates: diamonds), supernodes are points, and executed
+// vertices are annotated with their measured compute time.
+func (g *DAG) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [fontsize=10];\n", title)
+	for _, n := range g.order {
+		shape := "box"
+		switch n.Kind {
+		case ModelKind:
+			shape = "ellipse"
+		case AggregateKind:
+			shape = "diamond"
+		case SupernodeKind:
+			shape = "point"
+		}
+		label := n.Name
+		if n.ComputeTime > 0 {
+			label = fmt.Sprintf("%s\\n%s", n.Name, n.ComputeTime.Round(n.ComputeTime/100))
+		}
+		attrs := fmt.Sprintf("shape=%s, label=%q", shape, label)
+		if n.LoadedFromEG {
+			attrs += `, style=filled, fillcolor="#cce5ff"`
+		} else if n.Computed {
+			attrs += `, style=filled, fillcolor="#e2f0d9"`
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", short(n.ID), attrs)
+	}
+	for _, n := range g.order {
+		for _, p := range n.Parents {
+			fmt.Fprintf(&b, "  %q -> %q;\n", short(p.ID), short(n.ID))
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func short(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	return id
+}

@@ -1,0 +1,87 @@
+package materialize
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/eg"
+	"repro/internal/graph"
+)
+
+// largeEG builds an Experiment Graph with chains hanging off one source —
+// the shape the materializer sees after many collaborative workloads.
+func largeEG(vertices int) *eg.Graph {
+	w := graph.NewDAG()
+	src := w.AddSource("s", &graph.AggregateArtifact{})
+	src.SizeBytes = 1 << 20
+	cur := src
+	for i := 0; i < vertices; i++ {
+		op := stubOp{name: fmt.Sprintf("op%d", i), kind: graph.DatasetKind}
+		n := w.Apply(cur, op)
+		annotate(n, time.Duration(i%7+1)*time.Millisecond, int64(i%13+1)<<14, float64(i%10)/10)
+		if i%10 == 0 {
+			cur = src // start a new chain
+		} else {
+			cur = n
+		}
+	}
+	g := eg.New()
+	g.Merge(w)
+	return g
+}
+
+func BenchmarkStrategySelect(b *testing.B) {
+	g := largeEG(2000)
+	budget := int64(8 << 20)
+	c := Config{Alpha: 0.5, Profile: cost.Memory()}
+	for _, s := range []Strategy{NewGreedy(c), NewStorageAware(c), NewHelix(c), NewAll()} {
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Select(g, budget)
+			}
+		})
+	}
+}
+
+// BenchmarkGreedyAblationLoadCostVeto measures the Cl≥Cr veto's effect on
+// selection time and size (the DESIGN.md ablation hook).
+func BenchmarkGreedyAblationLoadCostVeto(b *testing.B) {
+	g := largeEG(2000)
+	budget := int64(8 << 20)
+	for _, veto := range []bool{true, false} {
+		c := Config{Alpha: 0.5, Profile: cost.Memory(), DisableLoadCostVeto: !veto}
+		b.Run(fmt.Sprintf("veto=%t", veto), func(b *testing.B) {
+			var selected int
+			for i := 0; i < b.N; i++ {
+				selected = len(NewGreedy(c).Select(g, budget))
+			}
+			b.ReportMetric(float64(selected), "selected")
+		})
+	}
+}
+
+// BenchmarkGreedyAlphaSweep measures how α shifts the selection (the
+// Figure 8b design knob) on a static graph.
+func BenchmarkGreedyAlphaSweep(b *testing.B) {
+	g := largeEG(2000)
+	budget := int64(4 << 20)
+	for _, alpha := range []float64{0.001, 0.5, 1} {
+		c := Config{Alpha: alpha, Profile: cost.Memory()}
+		b.Run(fmt.Sprintf("alpha=%v", alpha), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NewGreedy(c).Select(g, budget)
+			}
+		})
+	}
+}
+
+func BenchmarkRecreationCostsAndPotentials(b *testing.B) {
+	g := largeEG(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.RecreationCosts()
+		g.Potentials()
+	}
+}

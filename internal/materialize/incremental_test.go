@@ -1,0 +1,125 @@
+package materialize
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/eg"
+	"repro/internal/graph"
+)
+
+// mergeWorkload builds and merges a chain workload, returning its vertex
+// IDs in topological order.
+func mergeWorkload(g *eg.Graph, tag string, quality float64) []string {
+	w := graph.NewDAG()
+	src := w.AddSource("inc-src", &graph.AggregateArtifact{})
+	a := w.Apply(src, stubOp{name: "a-" + tag, kind: graph.DatasetKind})
+	annotate(a, 50*time.Millisecond, 1<<16, 0)
+	m := w.Apply(a, stubOp{name: "m-" + tag, kind: graph.ModelKind})
+	annotate(m, 100*time.Millisecond, 1<<10, quality)
+	g.Merge(w)
+	ids := make([]string, 0, w.Len())
+	for _, n := range w.Nodes() {
+		ids = append(ids, n.ID)
+	}
+	return ids
+}
+
+func TestIncrementalMatchesFullGreedyOnFreshGraph(t *testing.T) {
+	g := eg.New()
+	touched := mergeWorkload(g, "w1", 0.8)
+	budget := int64(1 << 20)
+	full := NewGreedy(cfg()).Select(g, budget)
+	inc := NewIncremental(cfg()).SelectIncremental(g, budget, touched)
+	if len(full) != len(inc) {
+		t.Fatalf("full=%v inc=%v", full, inc)
+	}
+	fullSet := map[string]bool{}
+	for _, id := range full {
+		fullSet[id] = true
+	}
+	for _, id := range inc {
+		if !fullSet[id] {
+			t.Errorf("incremental selected %s, full greedy did not", id)
+		}
+	}
+}
+
+func TestIncrementalTracksNewHighQualityModels(t *testing.T) {
+	g := eg.New()
+	m := NewIncremental(Config{Alpha: 1, Profile: cfg().Profile})
+	budget := int64(1 << 11) // room for ~one model blob
+	mergeWorkload(g, "w1", 0.6)
+	sel1 := m.SelectIncremental(g, budget, idsOf(g))
+	// A better model arrives; the selection must follow it.
+	better := mergeWorkload(g, "w2", 0.95)
+	sel2 := m.SelectIncremental(g, budget, better)
+	if len(sel2) == 0 {
+		t.Fatal("nothing selected")
+	}
+	v := g.Vertex(sel2[0])
+	if v == nil || v.Quality != 0.95 {
+		t.Errorf("α=1 incremental should pin the new best model, got %+v (prev sel %v)", v, sel1)
+	}
+}
+
+func idsOf(g *eg.Graph) []string {
+	var out []string
+	for _, v := range g.Vertices() {
+		out = append(out, v.ID)
+	}
+	return out
+}
+
+func TestIncrementalRespectsBudget(t *testing.T) {
+	g := eg.New()
+	m := NewIncremental(cfg())
+	for i := 0; i < 10; i++ {
+		touched := mergeWorkload(g, fmt.Sprintf("w%d", i), 0.5)
+		budget := int64(3 << 16)
+		sel := m.SelectIncremental(g, budget, touched)
+		var used int64
+		for _, id := range sel {
+			used += g.Vertex(id).SizeBytes
+		}
+		if used > budget {
+			t.Fatalf("round %d: selection %d bytes exceeds budget %d", i, used, budget)
+		}
+	}
+}
+
+func TestIncrementalPoolStaysBounded(t *testing.T) {
+	// The candidate pool is workload ∪ previous selection — stale
+	// unmaterialized vertices from old workloads must not be rescanned.
+	g := eg.New()
+	m := NewIncremental(cfg())
+	budget := int64(2 << 16)
+	var lastSel []string
+	for i := 0; i < 50; i++ {
+		touched := mergeWorkload(g, fmt.Sprintf("p%d", i), 0.5)
+		lastSel = m.SelectIncremental(g, budget, touched)
+	}
+	if len(lastSel) == 0 {
+		t.Fatal("no selection after 50 rounds")
+	}
+	// Internal cache grows with touched vertices but the selection stays
+	// within budget-bounded size.
+	var used int64
+	for _, id := range lastSel {
+		used += g.Vertex(id).SizeBytes
+	}
+	if used > budget {
+		t.Errorf("selection exceeds budget: %d > %d", used, budget)
+	}
+}
+
+func TestIncrementalFullSelectFallback(t *testing.T) {
+	g := eg.New()
+	mergeWorkload(g, "fb", 0.7)
+	m := NewIncremental(cfg())
+	sel := m.Select(g, 1<<20) // Strategy interface path
+	if len(sel) == 0 {
+		t.Error("fallback Select returned nothing")
+	}
+}

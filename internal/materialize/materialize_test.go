@@ -1,0 +1,239 @@
+package materialize
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/eg"
+	"repro/internal/graph"
+)
+
+type stubOp struct {
+	name string
+	kind graph.Kind
+	ext  bool
+}
+
+func (o stubOp) Name() string        { return o.name }
+func (o stubOp) Hash() string        { return graph.OpHash(o.name, "") }
+func (o stubOp) OutKind() graph.Kind { return o.kind }
+func (o stubOp) External() bool      { return o.ext }
+func (o stubOp) Run([]graph.Artifact) (graph.Artifact, error) {
+	return &graph.AggregateArtifact{}, nil
+}
+
+// annotate fakes an executed vertex.
+func annotate(n *graph.Node, t time.Duration, size int64, q float64) {
+	n.ComputeTime = t
+	n.SizeBytes = size
+	n.Quality = q
+}
+
+func cfg() Config {
+	return Config{Alpha: 0.5, Profile: cost.Memory()}
+}
+
+// buildEG constructs an EG with a chain of three derived artifacts of
+// decreasing cost-effectiveness plus a high-quality model.
+func buildEG() (*eg.Graph, []*graph.Node) {
+	w := graph.NewDAG()
+	src := w.AddSource("train", &graph.AggregateArtifact{})
+	src.SizeBytes = 10 << 20
+	a := w.Apply(src, stubOp{name: "expensive", kind: graph.DatasetKind})
+	annotate(a, 10*time.Second, 1<<20, 0) // very cheap to store, costly to recompute
+	b := w.Apply(a, stubOp{name: "cheap", kind: graph.DatasetKind})
+	annotate(b, 10*time.Millisecond, 64<<20, 0) // big and cheap to recompute
+	m := w.Apply(a, stubOp{name: "train", kind: graph.ModelKind})
+	annotate(m, 5*time.Second, 1<<10, 0.9)
+	g := eg.New()
+	g.Merge(w)
+	return g, []*graph.Node{src, a, b, m}
+}
+
+func TestGreedyRespectsBudget(t *testing.T) {
+	g, nodes := buildEG()
+	hm := NewGreedy(cfg())
+	sel := hm.Select(g, 2<<20) // 2 MiB: fits a (1 MiB) and m (1 KiB), not b
+	selSet := map[string]bool{}
+	var total int64
+	for _, id := range sel {
+		selSet[id] = true
+		total += g.Vertex(id).SizeBytes
+	}
+	if total > 2<<20 {
+		t.Errorf("selection exceeds budget: %d", total)
+	}
+	if !selSet[nodes[1].ID] {
+		t.Error("high-utility artifact a should be selected")
+	}
+	if selSet[nodes[0].ID] {
+		t.Error("sources are excluded from budgeted selection")
+	}
+}
+
+func TestGreedyPrefersModelQualityWithHighAlpha(t *testing.T) {
+	g, nodes := buildEG()
+	c := cfg()
+	c.Alpha = 1 // only quality matters
+	hm := NewGreedy(c)
+	sel := hm.Select(g, g.Vertex(nodes[3].ID).SizeBytes) // room for exactly the model
+	if len(sel) == 0 || sel[0] != nodes[3].ID {
+		t.Errorf("α=1 budget-of-one should pick the model, got %v", sel)
+	}
+}
+
+func TestLoadCostVetoExcludesCheapRecomputes(t *testing.T) {
+	// An artifact whose recompute is faster than its load must never be
+	// materialized (Equation 2's veto).
+	w := graph.NewDAG()
+	src := w.AddSource("s", &graph.AggregateArtifact{})
+	fast := w.Apply(src, stubOp{name: "fast", kind: graph.DatasetKind})
+	annotate(fast, time.Nanosecond, 1<<30, 0) // 1 GiB that recomputes in 1ns
+	g := eg.New()
+	g.Merge(w)
+	c := Config{Alpha: 0.5, Profile: cost.Disk()}
+	if !LoadCostVetoed(c, g, fast.ID) {
+		t.Fatal("expected load-cost veto")
+	}
+	if sel := NewGreedy(c).Select(g, 1<<40); len(sel) != 0 {
+		t.Errorf("vetoed artifact selected: %v", sel)
+	}
+	c.DisableLoadCostVeto = true
+	if sel := NewGreedy(c).Select(g, 1<<40); len(sel) != 1 {
+		t.Errorf("ablation should select it: %v", sel)
+	}
+}
+
+func TestExternalArtifactsNeverMaterialized(t *testing.T) {
+	w := graph.NewDAG()
+	src := w.AddSource("s", &graph.AggregateArtifact{})
+	kde := w.Apply(src, stubOp{name: "kde", kind: graph.AggregateKind, ext: true})
+	annotate(kde, 10*time.Second, 1<<10, 0)
+	g := eg.New()
+	g.Merge(w)
+	for _, s := range []Strategy{NewGreedy(cfg()), NewStorageAware(cfg()), NewHelix(cfg()), NewAll()} {
+		for _, id := range s.Select(g, 1<<40) {
+			if id == kde.ID {
+				t.Errorf("%s materialized an external artifact", s.Name())
+			}
+		}
+	}
+}
+
+// overlappingEG builds an EG where derived artifacts share columns with
+// their input, so SA can store more than HM under the same budget.
+func overlappingEG() (*eg.Graph, []string) {
+	w := graph.NewDAG()
+	base := make([]*data.Column, 8)
+	for i := range base {
+		vals := make([]float64, 1024) // 8 KiB per column
+		base[i] = data.NewFloatColumn(fmt.Sprintf("c%d", i), vals)
+	}
+	full := data.MustNewFrame(base...)
+	src := w.AddSource("train", &graph.DatasetArtifact{Frame: full})
+	src.SizeBytes = full.SizeBytes()
+
+	var ids []string
+	// Each derived artifact selects 6 of the 8 columns: heavy overlap.
+	for k := 0; k < 4; k++ {
+		op := stubOp{name: fmt.Sprintf("sel%d", k), kind: graph.DatasetKind}
+		n := w.Apply(src, op)
+		sub, _ := full.Select("c0", "c1", "c2", "c3", "c4", fmt.Sprintf("c%d", 5+(k%3)))
+		n.Content = &graph.DatasetArtifact{Frame: sub}
+		annotate(n, time.Duration(k+1)*time.Second, sub.SizeBytes(), 0)
+		ids = append(ids, n.ID)
+	}
+	g := eg.New()
+	g.Merge(w)
+	return g, ids
+}
+
+func TestStorageAwareStoresMoreThanGreedy(t *testing.T) {
+	g, _ := overlappingEG()
+	budget := int64(14*8) << 10 // 112 KiB: ~2.3 artifacts logically
+	hm := NewGreedy(cfg()).Select(g, budget)
+	sa := NewStorageAware(cfg()).Select(g, budget)
+	if len(sa) <= len(hm) {
+		t.Errorf("SA should materialize more under overlap: SA=%d HM=%d", len(sa), len(hm))
+	}
+	if got := g.DedupedSize(sa); got > budget {
+		t.Errorf("SA deduped size %d exceeds budget %d", got, budget)
+	}
+	// The logical ("real") size SA admits exceeds the budget (Figure 6).
+	if logical := g.TotalLogicalSize(sa); logical <= budget {
+		t.Errorf("logical=%d should exceed budget=%d under heavy overlap", logical, budget)
+	}
+}
+
+func TestHelixMaterializesRootFirst(t *testing.T) {
+	// Chain where the deepest artifact has the highest utility; Helix
+	// must still exhaust its budget near the root.
+	w := graph.NewDAG()
+	src := w.AddSource("s", &graph.AggregateArtifact{})
+	a := w.Apply(src, stubOp{name: "a", kind: graph.DatasetKind})
+	annotate(a, 2*time.Second, 8<<20, 0)
+	b := w.Apply(a, stubOp{name: "b", kind: graph.DatasetKind})
+	annotate(b, 2*time.Second, 8<<20, 0)
+	c := w.Apply(b, stubOp{name: "c", kind: graph.DatasetKind})
+	annotate(c, 20*time.Second, 8<<20, 0) // highest utility, farthest from root
+	g := eg.New()
+	g.Merge(w)
+
+	hl := NewHelix(cfg()).Select(g, 16<<20) // room for two artifacts
+	if len(hl) != 2 {
+		t.Fatalf("HL selected %d, want 2", len(hl))
+	}
+	sel := map[string]bool{hl[0]: true, hl[1]: true}
+	if !sel[a.ID] || !sel[b.ID] {
+		t.Errorf("HL should take root-first {a,b}, got %v", hl)
+	}
+	hm := NewGreedy(cfg()).Select(g, 16<<20)
+	hmSet := map[string]bool{}
+	for _, id := range hm {
+		hmSet[id] = true
+	}
+	if !hmSet[c.ID] {
+		t.Errorf("HM should prioritize the high-utility c, got %v", hm)
+	}
+}
+
+func TestAllSelectsEverythingEligible(t *testing.T) {
+	g, nodes := buildEG()
+	sel := NewAll().Select(g, 0)
+	if len(sel) != 3 { // a, b, m — not the source
+		t.Errorf("ALL selected %d, want 3: %v", len(sel), sel)
+	}
+	for _, id := range sel {
+		if id == nodes[0].ID {
+			t.Error("ALL must not include sources")
+		}
+	}
+}
+
+func TestBudgetFromArtifactCount(t *testing.T) {
+	g, _ := buildEG()
+	one := BudgetFromArtifactCount(g, 1)
+	if one != 64<<20 { // largest eligible artifact (b)
+		t.Errorf("budget=%d, want %d", one, 64<<20)
+	}
+	if BudgetFromArtifactCount(g, 2) != 2*one {
+		t.Error("count scaling wrong")
+	}
+}
+
+func TestDeterministicSelection(t *testing.T) {
+	g, _ := buildEG()
+	a := NewStorageAware(cfg()).Select(g, 4<<20)
+	b := NewStorageAware(cfg()).Select(g, 4<<20)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic selection size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic selection order")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package maxflow implements the Edmonds–Karp maximum-flow algorithm
+// (O(V·E²)), used by the Helix reuse baseline to solve its
+// project-selection (min-cut) formulation of the reuse problem (§7.1).
+package maxflow
+
+import "math"
+
+// edge is one directed edge with residual capacity; edges are stored in
+// pairs (i, i^1) so the reverse edge is found by XOR.
+type edge struct {
+	to  int
+	cap float64
+}
+
+// Graph is a flow network over vertices 0..n-1.
+type Graph struct {
+	n     int
+	edges []edge
+	adj   [][]int
+}
+
+// New returns an empty flow network with n vertices.
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// AddEdge adds a directed edge u→v with the given capacity (and the
+// implicit residual reverse edge).
+func (g *Graph) AddEdge(u, v int, capacity float64) {
+	g.adj[u] = append(g.adj[u], len(g.edges))
+	g.edges = append(g.edges, edge{to: v, cap: capacity})
+	g.adj[v] = append(g.adj[v], len(g.edges))
+	g.edges = append(g.edges, edge{to: u, cap: 0})
+}
+
+// MaxFlow computes the maximum s→t flow with Edmonds–Karp (BFS shortest
+// augmenting paths).
+func (g *Graph) MaxFlow(s, t int) float64 {
+	var total float64
+	parentEdge := make([]int, g.n)
+	for {
+		for i := range parentEdge {
+			parentEdge[i] = -1
+		}
+		parentEdge[s] = -2
+		queue := []int{s}
+		for len(queue) > 0 && parentEdge[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ei := range g.adj[u] {
+				e := g.edges[ei]
+				if e.cap > 1e-15 && parentEdge[e.to] == -1 {
+					parentEdge[e.to] = ei
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if parentEdge[t] == -1 {
+			return total
+		}
+		// find bottleneck
+		bottleneck := math.Inf(1)
+		for v := t; v != s; {
+			ei := parentEdge[v]
+			if g.edges[ei].cap < bottleneck {
+				bottleneck = g.edges[ei].cap
+			}
+			v = g.edges[ei^1].to
+		}
+		for v := t; v != s; {
+			ei := parentEdge[v]
+			g.edges[ei].cap -= bottleneck
+			g.edges[ei^1].cap += bottleneck
+			v = g.edges[ei^1].to
+		}
+		total += bottleneck
+	}
+}
+
+// MinCutReachable returns, after MaxFlow has run, which vertices are
+// reachable from s in the residual network — the s-side of a minimum cut.
+func (g *Graph) MinCutReachable(s int) []bool {
+	seen := make([]bool, g.n)
+	seen[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ei := range g.adj[u] {
+			e := g.edges[ei]
+			if e.cap > 1e-15 && !seen[e.to] {
+				seen[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,85 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if f := g.MaxFlow(0, 2); f != 3 {
+		t.Errorf("flow=%v, want 3", f)
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS-style example with known max flow 23.
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if f := g.MaxFlow(0, 5); f != 23 {
+		t.Errorf("flow=%v, want 23", f)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(2, 3, 10)
+	if f := g.MaxFlow(0, 3); f != 0 {
+		t.Errorf("flow=%v, want 0", f)
+	}
+}
+
+func TestMinCutReachable(t *testing.T) {
+	// Per-vertex parallel (s→v, v→t) structure: cut the cheaper edge.
+	g := New(4)        // s=0, t=1, v1=2, v2=3
+	g.AddEdge(0, 2, 5) // compute cost v1
+	g.AddEdge(2, 1, 2) // load cost v1 (cheaper -> load)
+	g.AddEdge(0, 3, 1) // compute cost v2 (cheaper -> compute)
+	g.AddEdge(3, 1, 9) // load cost v2
+	if f := g.MaxFlow(0, 1); f != 3 {
+		t.Fatalf("flow=%v, want 3", f)
+	}
+	side := g.MinCutReachable(0)
+	if !side[2] {
+		t.Error("v1 should be on the source side (load edge cut)")
+	}
+	if side[3] {
+		t.Error("v2 should be on the sink side (compute edge cut)")
+	}
+}
+
+func TestFlowEqualsSumOfPerVertexMin(t *testing.T) {
+	// Property: with only parallel s→v→t pairs, max flow = Σ min(a,b).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		g := New(n + 2)
+		var want float64
+		for i := 0; i < n; i++ {
+			a := float64(rng.Intn(100) + 1)
+			b := float64(rng.Intn(100) + 1)
+			g.AddEdge(0, i+2, a)
+			g.AddEdge(i+2, 1, b)
+			if a < b {
+				want += a
+			} else {
+				want += b
+			}
+		}
+		if got := g.MaxFlow(0, 1); got != want {
+			t.Fatalf("trial %d: flow=%v, want %v", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package ml
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkLogisticRegressionFit(b *testing.B) {
+	x, y := synthLinear(2000, 20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewLogisticRegression(1)
+		m.MaxIter = 50
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGBTFit(b *testing.B) {
+	for _, cols := range []int{20, 120} {
+		x, y := synthLinear(2000, cols, 2)
+		b.Run(fmt.Sprintf("cols=%d", cols), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := NewGBT(1)
+				g.NTrees = 12
+				g.MaxDepth = 3
+				if err := g.Fit(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGBTWarmstartedFit(b *testing.B) {
+	x, y := synthLinear(2000, 20, 3)
+	donor := NewGBT(1)
+	donor.NTrees = 10
+	if err := donor.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGBT(1)
+		g.NTrees = 12 // grows only 2 extra trees
+		g.WarmstartFrom(donor)
+		if err := g.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomForestFit(b *testing.B) {
+	x, y := synthLinear(1000, 20, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRandomForest(1)
+		r.NTrees = 10
+		if err := r.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAUCROC(b *testing.B) {
+	x, y := synthLinear(10000, 5, 5)
+	m := NewLogisticRegression(1)
+	if err := m.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	scores := m.Predict(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AUCROC(y, scores)
+	}
+}
+
+func BenchmarkCountVectorizer(b *testing.B) {
+	docs := make([]string, 2000)
+	for i := range docs {
+		docs[i] = "the quick brown fox jumps over the lazy dog number " + fmt.Sprint(i%50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := &CountVectorizer{MaxFeatures: 64}
+		v.FitTransform(docs)
+	}
+}

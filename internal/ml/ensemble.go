@@ -1,0 +1,329 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// GradientBoostedTrees is a binary classifier boosting shallow regression
+// trees on the logistic-loss gradient (a compact LightGBM/XGBoost stand-in
+// for the paper's Kaggle workloads). Warmstarting adopts a donor ensemble
+// and Fit then only grows the remaining trees, which shortens training the
+// same way warmstarted SGD does.
+type GradientBoostedTrees struct {
+	// NTrees is the ensemble size. Default 50.
+	NTrees int
+	// LearningRate shrinks each tree's contribution. Default 0.1.
+	LearningRate float64
+	// MaxDepth bounds each tree. Default 3.
+	MaxDepth int
+	// Subsample, in (0,1], is the row fraction per tree. Default 1.
+	Subsample float64
+	// Seed drives subsampling.
+	Seed int64
+
+	// Trees and Base are the fitted ensemble (exported for
+	// serialization).
+	Trees []*TreeNode
+	Base  float64
+
+	// TreesGrown records how many new trees the last Fit call grew.
+	TreesGrown int
+}
+
+// NewGBT returns a gradient-boosted-trees classifier with package defaults.
+func NewGBT(seed int64) *GradientBoostedTrees {
+	return &GradientBoostedTrees{NTrees: 50, LearningRate: 0.1, MaxDepth: 3, Subsample: 1, Seed: seed}
+}
+
+// Kind implements Model.
+func (g *GradientBoostedTrees) Kind() string { return "gbt" }
+
+// WarmstartFrom implements Warmstarter: adopt the donor's trees; Fit will
+// grow only NTrees-len(donor.Trees) additional trees.
+func (g *GradientBoostedTrees) WarmstartFrom(donor Model) bool {
+	d, ok := donor.(*GradientBoostedTrees)
+	if !ok || len(d.Trees) == 0 {
+		return false
+	}
+	g.Trees = append([]*TreeNode(nil), d.Trees...)
+	g.Base = d.Base
+	return true
+}
+
+// Fit implements Model.
+func (g *GradientBoostedTrees) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: gbt: empty or mismatched training data")
+	}
+	if g.NTrees == 0 {
+		g.NTrees = 50
+	}
+	if g.LearningRate == 0 {
+		g.LearningRate = 0.1
+	}
+	if g.MaxDepth == 0 {
+		g.MaxDepth = 3
+	}
+	if g.Subsample == 0 {
+		g.Subsample = 1
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	n := len(x)
+	score := make([]float64, n)
+	if len(g.Trees) == 0 {
+		// prior log-odds
+		var pos float64
+		for _, v := range y {
+			pos += v
+		}
+		p := math.Min(math.Max(pos/float64(n), 1e-6), 1-1e-6)
+		g.Base = math.Log(p / (1 - p))
+	}
+	for i := range score {
+		score[i] = g.Base
+	}
+	for _, tr := range g.Trees {
+		for i, row := range x {
+			score[i] += g.LearningRate * tr.predict(row)
+		}
+	}
+	grad := make([]float64, n)
+	g.TreesGrown = 0
+	bins := newBinner(x) // shared across all boosting rounds
+	for len(g.Trees) < g.NTrees {
+		for i := range grad {
+			grad[i] = y[i] - sigmoid(score[i]) // negative gradient
+		}
+		idx := g.sampleRows(rng, n)
+		t := &DecisionTree{
+			MaxDepth:       g.MaxDepth,
+			MinSamplesLeaf: 4,
+			Classification: false,
+			Seed:           rng.Int63(),
+			bins:           bins,
+		}
+		t.rng = rand.New(rand.NewSource(t.Seed))
+		root := t.build(grad, idx, 0)
+		g.Trees = append(g.Trees, root)
+		g.TreesGrown++
+		for i, row := range x {
+			score[i] += g.LearningRate * root.predict(row)
+		}
+	}
+	return nil
+}
+
+func (g *GradientBoostedTrees) sampleRows(rng *rand.Rand, n int) []int {
+	if g.Subsample >= 1 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	k := int(g.Subsample * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = rng.Intn(n)
+	}
+	return idx
+}
+
+// Predict implements Model, returning P(y=1).
+func (g *GradientBoostedTrees) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		s := g.Base
+		for _, tr := range g.Trees {
+			s += g.LearningRate * tr.predict(row)
+		}
+		out[i] = sigmoid(s)
+	}
+	return out
+}
+
+// NumTrees returns the current ensemble size.
+func (g *GradientBoostedTrees) NumTrees() int { return len(g.Trees) }
+
+// SizeBytes implements Model.
+func (g *GradientBoostedTrees) SizeBytes() int64 {
+	var n int64 = 8
+	for _, t := range g.Trees {
+		n += t.count() * 32
+	}
+	return n
+}
+
+// RandomForest bags classification trees over bootstrap samples with
+// feature sub-sampling.
+type RandomForest struct {
+	// NTrees is the forest size. Default 20.
+	NTrees int
+	// MaxDepth bounds each tree. Default 6.
+	MaxDepth int
+	// MaxFeatures candidate features per split; 0 means sqrt(d).
+	MaxFeatures int
+	// Seed drives bootstrapping.
+	Seed int64
+
+	// Trees is the fitted forest (exported for serialization).
+	Trees []*DecisionTree
+}
+
+// NewRandomForest returns a random forest with package defaults.
+func NewRandomForest(seed int64) *RandomForest {
+	return &RandomForest{NTrees: 20, MaxDepth: 6, Seed: seed}
+}
+
+// Kind implements Model.
+func (r *RandomForest) Kind() string { return "rf" }
+
+// Fit implements Model.
+func (r *RandomForest) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: rf: empty or mismatched training data")
+	}
+	if r.NTrees == 0 {
+		r.NTrees = 20
+	}
+	if r.MaxDepth == 0 {
+		r.MaxDepth = 6
+	}
+	mf := r.MaxFeatures
+	if mf == 0 {
+		mf = int(math.Sqrt(float64(len(x[0]))))
+		if mf < 1 {
+			mf = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	n := len(x)
+	r.Trees = make([]*DecisionTree, 0, r.NTrees)
+	bx := make([][]float64, n)
+	by := make([]float64, n)
+	for k := 0; k < r.NTrees; k++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		t := &DecisionTree{
+			MaxDepth:       r.MaxDepth,
+			MinSamplesLeaf: 2,
+			MaxFeatures:    mf,
+			Classification: true,
+			Seed:           rng.Int63(),
+		}
+		if err := t.Fit(bx, by); err != nil {
+			return err
+		}
+		r.Trees = append(r.Trees, t)
+	}
+	return nil
+}
+
+// Predict implements Model, returning the mean vote.
+func (r *RandomForest) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	if len(r.Trees) == 0 {
+		return out
+	}
+	for _, t := range r.Trees {
+		p := t.Predict(x)
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(r.Trees))
+	}
+	return out
+}
+
+// SizeBytes implements Model.
+func (r *RandomForest) SizeBytes() int64 {
+	var n int64
+	for _, t := range r.Trees {
+		n += t.SizeBytes()
+	}
+	return n
+}
+
+// KNN is a k-nearest-neighbours classifier (brute force, Euclidean). It
+// memorizes the training set, making it a deliberately storage-heavy model
+// for materialization experiments.
+type KNN struct {
+	// K is the neighbour count. Default 5.
+	K int
+
+	// TrainX and TrainY memorize the training set (exported for
+	// serialization).
+	TrainX [][]float64
+	TrainY []float64
+}
+
+// NewKNN returns a k-NN model with K=5.
+func NewKNN() *KNN { return &KNN{K: 5} }
+
+// Kind implements Model.
+func (k *KNN) Kind() string { return "knn" }
+
+// Fit implements Model (memorizes the data).
+func (k *KNN) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: knn: empty or mismatched training data")
+	}
+	if k.K == 0 {
+		k.K = 5
+	}
+	k.TrainX = clone2D(x)
+	k.TrainY = append([]float64(nil), y...)
+	return nil
+}
+
+// Predict implements Model.
+func (k *KNN) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	type nb struct{ d, y float64 }
+	for i, q := range x {
+		best := make([]nb, 0, k.K+1)
+		for j, row := range k.TrainX {
+			var d float64
+			for c := range q {
+				dd := q[c] - row[c]
+				d += dd * dd
+			}
+			// insertion into a small sorted buffer
+			pos := len(best)
+			for pos > 0 && best[pos-1].d > d {
+				pos--
+			}
+			if pos < k.K {
+				best = append(best, nb{})
+				copy(best[pos+1:], best[pos:])
+				best[pos] = nb{d, k.TrainY[j]}
+				if len(best) > k.K {
+					best = best[:k.K]
+				}
+			}
+		}
+		var s float64
+		for _, b := range best {
+			s += b.y
+		}
+		if len(best) > 0 {
+			out[i] = s / float64(len(best))
+		}
+	}
+	return out
+}
+
+// SizeBytes implements Model.
+func (k *KNN) SizeBytes() int64 {
+	return int64(len(k.TrainX))*int64(cols2D(k.TrainX))*8 + int64(len(k.TrainY))*8
+}

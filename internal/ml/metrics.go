@@ -1,0 +1,116 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// AUCROC computes the area under the ROC curve of scores against binary
+// labels (y ∈ {0,1}) via the rank statistic, handling ties by averaging.
+// It is the paper's model-quality function q for classifiers.
+func AUCROC(y, scores []float64) float64 {
+	type pair struct{ s, y float64 }
+	ps := make([]pair, len(y))
+	for i := range y {
+		ps[i] = pair{scores[i], y[i]}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].s < ps[b].s })
+	// average ranks over tie groups
+	ranks := make([]float64, len(ps))
+	for i := 0; i < len(ps); {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	var sumPos, nPos float64
+	for i, p := range ps {
+		if p.y > 0.5 {
+			sumPos += ranks[i]
+			nPos++
+		}
+	}
+	nNeg := float64(len(ps)) - nPos
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	return (sumPos - nPos*(nPos+1)/2) / (nPos * nNeg)
+}
+
+// Accuracy computes the fraction of correct 0.5-thresholded predictions.
+func Accuracy(y, scores []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	var correct float64
+	for i := range y {
+		pred := 0.0
+		if scores[i] >= 0.5 {
+			pred = 1
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	return correct / float64(len(y))
+}
+
+// LogLoss computes the mean negative log-likelihood of probabilities.
+func LogLoss(y, p []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	var loss float64
+	for i := range y {
+		pc := math.Min(math.Max(p[i], 1e-12), 1-1e-12)
+		loss -= y[i]*math.Log(pc) + (1-y[i])*math.Log(1-pc)
+	}
+	return loss / float64(len(y))
+}
+
+// RMSE computes root mean squared error.
+func RMSE(y, pred []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range y {
+		e := pred[i] - y[i]
+		s += e * e
+	}
+	return math.Sqrt(s / float64(len(y)))
+}
+
+// TrainTestSplit shuffles row indices with the given seed and splits X,y
+// into train and test portions with testFrac in (0,1).
+func TrainTestSplit(x [][]float64, y []float64, testFrac float64, seed int64) (xtr [][]float64, ytr []float64, xte [][]float64, yte []float64) {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+	nTest := int(testFrac * float64(n))
+	if nTest < 1 {
+		nTest = 1
+	}
+	if nTest >= n {
+		nTest = n - 1
+	}
+	for _, i := range idx[:nTest] {
+		xte = append(xte, x[i])
+		yte = append(yte, y[i])
+	}
+	for _, i := range idx[nTest:] {
+		xtr = append(xtr, x[i])
+		ytr = append(ytr, y[i])
+	}
+	return xtr, ytr, xte, yte
+}

@@ -1,0 +1,36 @@
+package ml
+
+// Model is the common interface of every trainable learner in the package.
+// Fit trains on a dense feature matrix X and target vector y; Predict
+// returns one prediction per row (a probability of the positive class for
+// classifiers, a real value for regressors).
+type Model interface {
+	// Kind returns a short type label ("logreg", "gbt", ...). Warmstart
+	// candidate search matches on Kind (§6.2).
+	Kind() string
+	// Fit trains the model. It must be callable repeatedly; each call
+	// retrains from the current state (which matters for warmstarted
+	// models).
+	Fit(x [][]float64, y []float64) error
+	// Predict scores each row of x.
+	Predict(x [][]float64) []float64
+	// SizeBytes reports the storage footprint of the fitted parameters.
+	SizeBytes() int64
+}
+
+// Warmstarter is implemented by models whose training can be initialized
+// from a previously fitted model of the same kind instead of from scratch
+// (§6.2 of the paper). WarmstartFrom reports whether the donor was
+// compatible and the state was adopted.
+type Warmstarter interface {
+	WarmstartFrom(donor Model) bool
+}
+
+// Transformer is a fitted feature transform (scaler, selector, PCA, ...):
+// Fit learns the transform parameters, Transform applies them.
+type Transformer interface {
+	Kind() string
+	Fit(x [][]float64, y []float64) error
+	Transform(x [][]float64) [][]float64
+	SizeBytes() int64
+}

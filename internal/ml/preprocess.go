@@ -1,0 +1,272 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// StandardScaler standardizes features to zero mean and unit variance.
+type StandardScaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// Kind implements Transformer.
+func (s *StandardScaler) Kind() string { return "std_scaler" }
+
+// Fit implements Transformer.
+func (s *StandardScaler) Fit(x [][]float64, _ []float64) error {
+	if len(x) == 0 {
+		return errors.New("ml: scaler: empty data")
+	}
+	s.Mean, s.Std = columnStats(x)
+	return nil
+}
+
+// Transform implements Transformer.
+func (s *StandardScaler) Transform(x [][]float64) [][]float64 {
+	out := clone2D(x)
+	for _, row := range out {
+		for j := range row {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out
+}
+
+// SizeBytes implements Transformer.
+func (s *StandardScaler) SizeBytes() int64 { return int64(len(s.Mean)+len(s.Std)) * 8 }
+
+// MinMaxScaler rescales features into [0,1].
+type MinMaxScaler struct {
+	Min []float64
+	Max []float64
+}
+
+// Kind implements Transformer.
+func (s *MinMaxScaler) Kind() string { return "minmax_scaler" }
+
+// Fit implements Transformer.
+func (s *MinMaxScaler) Fit(x [][]float64, _ []float64) error {
+	if len(x) == 0 {
+		return errors.New("ml: minmax: empty data")
+	}
+	d := len(x[0])
+	s.Min = make([]float64, d)
+	s.Max = make([]float64, d)
+	for j := 0; j < d; j++ {
+		s.Min[j] = math.Inf(1)
+		s.Max[j] = math.Inf(-1)
+	}
+	for _, row := range x {
+		for j, v := range row {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > s.Max[j] {
+				s.Max[j] = v
+			}
+		}
+	}
+	return nil
+}
+
+// Transform implements Transformer.
+func (s *MinMaxScaler) Transform(x [][]float64) [][]float64 {
+	out := clone2D(x)
+	for _, row := range out {
+		for j := range row {
+			span := s.Max[j] - s.Min[j]
+			if span <= 0 {
+				row[j] = 0
+			} else {
+				row[j] = (row[j] - s.Min[j]) / span
+			}
+		}
+	}
+	return out
+}
+
+// SizeBytes implements Transformer.
+func (s *MinMaxScaler) SizeBytes() int64 { return int64(len(s.Min)+len(s.Max)) * 8 }
+
+// SelectKBest keeps the K features with the highest absolute Pearson
+// correlation with the target (a univariate filter like sklearn's).
+type SelectKBest struct {
+	// K is the number of features to keep.
+	K int
+	// Indices are the selected feature indices after Fit, ascending.
+	Indices []int
+	// Scores are the per-feature absolute correlations after Fit.
+	Scores []float64
+}
+
+// Kind implements Transformer.
+func (s *SelectKBest) Kind() string { return "select_k_best" }
+
+// Fit implements Transformer.
+func (s *SelectKBest) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: selectkbest: empty or mismatched data")
+	}
+	d := len(x[0])
+	if s.K <= 0 || s.K > d {
+		s.K = d
+	}
+	mean, std := columnStats(x)
+	var my, sy float64
+	for _, v := range y {
+		my += v
+	}
+	my /= float64(len(y))
+	for _, v := range y {
+		sy += (v - my) * (v - my)
+	}
+	sy = math.Sqrt(sy / float64(len(y)))
+	if sy < 1e-12 {
+		sy = 1
+	}
+	s.Scores = make([]float64, d)
+	for j := 0; j < d; j++ {
+		var cov float64
+		for i, row := range x {
+			cov += (row[j] - mean[j]) * (y[i] - my)
+		}
+		cov /= float64(len(x))
+		s.Scores[j] = math.Abs(cov / (std[j] * sy))
+	}
+	order := make([]int, d)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if s.Scores[order[a]] != s.Scores[order[b]] {
+			return s.Scores[order[a]] > s.Scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	s.Indices = append([]int(nil), order[:s.K]...)
+	sort.Ints(s.Indices)
+	return nil
+}
+
+// Transform implements Transformer.
+func (s *SelectKBest) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	flat := make([]float64, len(x)*len(s.Indices))
+	for i, row := range x {
+		out[i], flat = flat[:len(s.Indices)], flat[len(s.Indices):]
+		for j, f := range s.Indices {
+			out[i][j] = row[f]
+		}
+	}
+	return out
+}
+
+// SizeBytes implements Transformer.
+func (s *SelectKBest) SizeBytes() int64 { return int64(len(s.Indices))*8 + int64(len(s.Scores))*8 }
+
+// PCA projects onto the top-K principal components, computed by power
+// iteration with deflation on the covariance matrix.
+type PCA struct {
+	// K is the number of components.
+	K int
+	// Components holds K row vectors after Fit.
+	Components [][]float64
+	// Mean is the per-feature training mean.
+	Mean []float64
+	// Iterations bounds power iteration. Default 50.
+	Iterations int
+}
+
+// Kind implements Transformer.
+func (p *PCA) Kind() string { return "pca" }
+
+// Fit implements Transformer.
+func (p *PCA) Fit(x [][]float64, _ []float64) error {
+	if len(x) == 0 {
+		return errors.New("ml: pca: empty data")
+	}
+	d := len(x[0])
+	if p.K <= 0 || p.K > d {
+		p.K = d
+	}
+	if p.Iterations == 0 {
+		p.Iterations = 50
+	}
+	p.Mean, _ = columnStats(x)
+	// covariance matrix (d x d)
+	cov := make([][]float64, d)
+	for j := range cov {
+		cov[j] = make([]float64, d)
+	}
+	for _, row := range x {
+		for a := 0; a < d; a++ {
+			da := row[a] - p.Mean[a]
+			for b := a; b < d; b++ {
+				cov[a][b] += da * (row[b] - p.Mean[b])
+			}
+		}
+	}
+	n := float64(len(x))
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			cov[a][b] /= n
+			cov[b][a] = cov[a][b]
+		}
+	}
+	p.Components = make([][]float64, 0, p.K)
+	v := make([]float64, d)
+	w := make([]float64, d)
+	for k := 0; k < p.K; k++ {
+		for j := range v {
+			v[j] = 1 / math.Sqrt(float64(d))
+		}
+		var lambda float64
+		for it := 0; it < p.Iterations; it++ {
+			for a := 0; a < d; a++ {
+				w[a] = dot(cov[a], v)
+			}
+			norm := math.Sqrt(dot(w, w))
+			if norm < 1e-15 {
+				break
+			}
+			for j := range v {
+				v[j] = w[j] / norm
+			}
+			lambda = norm
+		}
+		comp := append([]float64(nil), v...)
+		p.Components = append(p.Components, comp)
+		// deflate: cov -= lambda * v v^T
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				cov[a][b] -= lambda * comp[a] * comp[b]
+			}
+		}
+	}
+	return nil
+}
+
+// Transform implements Transformer.
+func (p *PCA) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	centered := make([]float64, len(p.Mean))
+	for i, row := range x {
+		for j := range centered {
+			centered[j] = row[j] - p.Mean[j]
+		}
+		proj := make([]float64, len(p.Components))
+		for k, comp := range p.Components {
+			proj[k] = dot(comp, centered)
+		}
+		out[i] = proj
+	}
+	return out
+}
+
+// SizeBytes implements Transformer.
+func (p *PCA) SizeBytes() int64 {
+	return int64(len(p.Components))*int64(len(p.Mean))*8 + int64(len(p.Mean))*8
+}

@@ -1,0 +1,91 @@
+package ml
+
+import (
+	"sort"
+	"strings"
+)
+
+// CountVectorizer converts a corpus of documents into token-count features
+// over a bounded vocabulary (the sklearn CountVectorizer of Listing 1 in
+// the paper). Tokens are lower-cased, split on non-letter/digit runes.
+type CountVectorizer struct {
+	// MaxFeatures bounds the vocabulary to the most frequent tokens.
+	// Default 256.
+	MaxFeatures int
+	// Vocabulary maps token → column index after Fit, deterministic
+	// (tokens sorted by frequency desc, then lexicographically).
+	Vocabulary map[string]int
+	// Tokens lists the vocabulary in column order.
+	Tokens []string
+}
+
+// Kind returns the transform label.
+func (v *CountVectorizer) Kind() string { return "count_vectorizer" }
+
+func tokenize(doc string) []string {
+	return strings.FieldsFunc(strings.ToLower(doc), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	})
+}
+
+// Fit learns the vocabulary from docs.
+func (v *CountVectorizer) Fit(docs []string) {
+	if v.MaxFeatures == 0 {
+		v.MaxFeatures = 256
+	}
+	freq := make(map[string]int)
+	for _, d := range docs {
+		for _, tok := range tokenize(d) {
+			freq[tok]++
+		}
+	}
+	tokens := make([]string, 0, len(freq))
+	for tok := range freq {
+		tokens = append(tokens, tok)
+	}
+	sort.Slice(tokens, func(a, b int) bool {
+		if freq[tokens[a]] != freq[tokens[b]] {
+			return freq[tokens[a]] > freq[tokens[b]]
+		}
+		return tokens[a] < tokens[b]
+	})
+	if len(tokens) > v.MaxFeatures {
+		tokens = tokens[:v.MaxFeatures]
+	}
+	sort.Strings(tokens)
+	v.Tokens = tokens
+	v.Vocabulary = make(map[string]int, len(tokens))
+	for i, tok := range tokens {
+		v.Vocabulary[tok] = i
+	}
+}
+
+// Transform maps docs to a dense count matrix with len(Tokens) columns.
+func (v *CountVectorizer) Transform(docs []string) [][]float64 {
+	out := make([][]float64, len(docs))
+	flat := make([]float64, len(docs)*len(v.Tokens))
+	for i, d := range docs {
+		out[i], flat = flat[:len(v.Tokens)], flat[len(v.Tokens):]
+		for _, tok := range tokenize(d) {
+			if j, ok := v.Vocabulary[tok]; ok {
+				out[i][j]++
+			}
+		}
+	}
+	return out
+}
+
+// FitTransform fits the vocabulary and returns the count matrix in one pass.
+func (v *CountVectorizer) FitTransform(docs []string) [][]float64 {
+	v.Fit(docs)
+	return v.Transform(docs)
+}
+
+// SizeBytes reports the vocabulary footprint.
+func (v *CountVectorizer) SizeBytes() int64 {
+	var n int64
+	for _, t := range v.Tokens {
+		n += int64(len(t)) + 24
+	}
+	return n
+}

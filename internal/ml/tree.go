@@ -1,0 +1,287 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TreeNode is one node of a binary regression/classification tree. Leaves
+// have Feature == -1. Fields are exported so fitted trees survive gob
+// encoding across the client/server wire.
+type TreeNode struct {
+	Feature     int
+	Threshold   float64
+	Value       float64
+	Left, Right *TreeNode
+}
+
+func (n *TreeNode) predict(row []float64) float64 {
+	for n.Feature >= 0 {
+		if row[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Value
+}
+
+func (n *TreeNode) count() int64 {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.Left.count() + n.Right.count()
+}
+
+// maxBins is the histogram resolution of the split finder. 32 quantile
+// bins match LightGBM-style engines closely enough for these data sizes.
+const maxBins = 32
+
+// binner pre-bins a feature matrix into quantile histograms so split
+// finding costs one O(rows) pass per (node, feature) instead of a sort.
+// A binner is built once per matrix and shared across the trees of an
+// ensemble.
+type binner struct {
+	// edges[f] holds ascending inclusive upper bin edges for feature f;
+	// a row falls in the first bin whose edge is >= its value.
+	edges [][]float64
+	// idx[i][f] is the bin of row i, feature f.
+	idx [][]uint8
+}
+
+func newBinner(x [][]float64) *binner {
+	n := len(x)
+	d := len(x[0])
+	b := &binner{edges: make([][]float64, d)}
+	// Quantile edges are estimated on a bounded row sample (evenly
+	// strided), which keeps binner construction O(d·sample·log sample)
+	// regardless of the row count.
+	const sampleCap = 2048
+	stride := 1
+	if n > sampleCap {
+		stride = n / sampleCap
+	}
+	vals := make([]float64, 0, sampleCap+1)
+	for f := 0; f < d; f++ {
+		vals = vals[:0]
+		for i := 0; i < n; i += stride {
+			vals = append(vals, x[i][f])
+		}
+		sort.Float64s(vals)
+		var edges []float64
+		for k := 1; k < maxBins; k++ {
+			e := vals[k*len(vals)/maxBins]
+			if len(edges) == 0 || e > edges[len(edges)-1] {
+				edges = append(edges, e)
+			}
+		}
+		b.edges[f] = edges
+	}
+	flat := make([]uint8, n*d)
+	b.idx = make([][]uint8, n)
+	for i, row := range x {
+		b.idx[i], flat = flat[:d], flat[d:]
+		for f := 0; f < d; f++ {
+			b.idx[i][f] = binOf(b.edges[f], row[f])
+		}
+	}
+	return b
+}
+
+// binOf returns the first bin whose edge is >= v (the last bin when v
+// exceeds every edge).
+func binOf(edges []float64, v float64) uint8 {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return uint8(lo)
+}
+
+// DecisionTree is a CART-style tree using histogram split finding. With
+// Classification=true it minimizes Gini impurity and predicts the
+// positive-class fraction of the leaf; otherwise it minimizes variance and
+// predicts the leaf mean.
+type DecisionTree struct {
+	// MaxDepth limits tree depth. Default 4.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum rows in a leaf. Default 2.
+	MinSamplesLeaf int
+	// MaxFeatures, when positive, samples that many candidate features
+	// per split (used by RandomForest). 0 means all features.
+	MaxFeatures int
+	// Classification toggles Gini (true) vs variance (false) splitting.
+	Classification bool
+	// Seed drives feature sub-sampling.
+	Seed int64
+
+	// Root is the fitted tree (exported for serialization).
+	Root *TreeNode
+
+	rng  *rand.Rand
+	bins *binner
+	hist []binStats
+}
+
+type binStats struct {
+	cnt  float64
+	sum  float64
+	sum2 float64
+}
+
+// NewDecisionTree returns a classification tree with package defaults.
+func NewDecisionTree(seed int64) *DecisionTree {
+	return &DecisionTree{MaxDepth: 4, MinSamplesLeaf: 2, Classification: true, Seed: seed}
+}
+
+// Kind implements Model.
+func (t *DecisionTree) Kind() string { return "tree" }
+
+// Fit implements Model.
+func (t *DecisionTree) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: tree: empty or mismatched training data")
+	}
+	if t.MaxDepth == 0 {
+		t.MaxDepth = 4
+	}
+	if t.MinSamplesLeaf == 0 {
+		t.MinSamplesLeaf = 2
+	}
+	t.rng = rand.New(rand.NewSource(t.Seed))
+	t.bins = newBinner(x)
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.Root = t.build(y, idx, 0)
+	t.bins = nil // release fit-time scratch
+	t.hist = nil
+	return nil
+}
+
+func leafValue(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func (t *DecisionTree) build(y []float64, idx []int, depth int) *TreeNode {
+	node := &TreeNode{Feature: -1, Value: leafValue(y, idx)}
+	if depth >= t.MaxDepth || len(idx) < 2*t.MinSamplesLeaf {
+		return node
+	}
+	feat, bin, thr, ok := t.bestSplit(y, idx)
+	if !ok {
+		return node
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if t.bins.idx[i][feat] <= bin {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < t.MinSamplesLeaf || len(ri) < t.MinSamplesLeaf {
+		return node
+	}
+	node.Feature = feat
+	node.Threshold = thr
+	node.Left = t.build(y, li, depth+1)
+	node.Right = t.build(y, ri, depth+1)
+	return node
+}
+
+// bestSplit accumulates per-bin label statistics in one pass per feature
+// and scans bin boundaries for the impurity-minimizing split.
+func (t *DecisionTree) bestSplit(y []float64, idx []int) (feat int, bin uint8, thr float64, ok bool) {
+	d := len(t.bins.edges)
+	feats := make([]int, d)
+	for j := range feats {
+		feats[j] = j
+	}
+	if t.MaxFeatures > 0 && t.MaxFeatures < d {
+		t.rng.Shuffle(d, func(a, b int) { feats[a], feats[b] = feats[b], feats[a] })
+		feats = feats[:t.MaxFeatures]
+	}
+	if t.hist == nil {
+		t.hist = make([]binStats, maxBins)
+	}
+	var ts, ts2 float64
+	for _, i := range idx {
+		ts += y[i]
+		ts2 += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	bestScore := math.Inf(1)
+	feat = -1
+	for _, f := range feats {
+		edges := t.bins.edges[f]
+		if len(edges) == 0 {
+			continue // constant feature
+		}
+		h := t.hist[:len(edges)+1]
+		for k := range h {
+			h[k] = binStats{}
+		}
+		for _, i := range idx {
+			b := t.bins.idx[i][f]
+			yi := y[i]
+			h[b].cnt++
+			h[b].sum += yi
+			h[b].sum2 += yi * yi
+		}
+		var ln, ls, ls2 float64
+		for b := 0; b < len(edges); b++ {
+			ln += h[b].cnt
+			ls += h[b].sum
+			ls2 += h[b].sum2
+			rn := n - ln
+			if ln == 0 || rn == 0 {
+				continue
+			}
+			rs := ts - ls
+			var score float64
+			if t.Classification {
+				score = 2*(ls-ls*ls/ln) + 2*(rs-rs*rs/rn)
+			} else {
+				rs2 := ts2 - ls2
+				score = (ls2 - ls*ls/ln) + (rs2 - rs*rs/rn)
+			}
+			if score < bestScore {
+				bestScore = score
+				feat = f
+				bin = uint8(b)
+				thr = edges[b]
+			}
+		}
+	}
+	return feat, bin, thr, feat >= 0
+}
+
+// Predict implements Model.
+func (t *DecisionTree) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	if t.Root == nil {
+		return out
+	}
+	for i, row := range x {
+		out[i] = t.Root.predict(row)
+	}
+	return out
+}
+
+// SizeBytes implements Model (32 bytes per node).
+func (t *DecisionTree) SizeBytes() int64 {
+	return t.Root.count() * 32
+}

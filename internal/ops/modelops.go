@@ -1,0 +1,333 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/graph"
+	"repro/internal/ml"
+)
+
+// ModelSpec describes a learner by kind and hyperparameters; it is the
+// hashable counterpart of a scikit-learn estimator constructor call.
+type ModelSpec struct {
+	// Kind is one of "logreg", "linreg", "tree", "gbt", "rf", "knn",
+	// "nb", "svm".
+	Kind string
+	// Params holds hyperparameters by canonical names:
+	// logreg/linreg: lr, max_iter, tol, l2
+	// tree: depth; gbt: n_trees, lr, depth, subsample; rf: n_trees, depth
+	// knn: k; svm: lambda, max_iter, tol; nb: (none)
+	Params map[string]float64
+	// Seed feeds the learner's RNG.
+	Seed int64
+}
+
+// canonical renders the spec deterministically for hashing.
+func (s ModelSpec) canonical() string {
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|seed=%d", s.Kind, s.Seed)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%g", k, s.Params[k])
+	}
+	return b.String()
+}
+
+func (s ModelSpec) p(name string, def float64) float64 {
+	if v, ok := s.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Build constructs the learner the spec describes.
+func (s ModelSpec) Build() (ml.Model, error) {
+	switch s.Kind {
+	case "logreg":
+		m := ml.NewLogisticRegression(s.Seed)
+		m.LearningRate = s.p("lr", 0.1)
+		m.MaxIter = int(s.p("max_iter", 100))
+		m.Tol = s.p("tol", 1e-6)
+		m.L2 = s.p("l2", 0)
+		return m, nil
+	case "linreg":
+		m := ml.NewLinearRegression(s.Seed)
+		m.LearningRate = s.p("lr", 0.05)
+		m.MaxIter = int(s.p("max_iter", 200))
+		m.Tol = s.p("tol", 1e-8)
+		m.L2 = s.p("l2", 0)
+		return m, nil
+	case "tree":
+		m := ml.NewDecisionTree(s.Seed)
+		m.MaxDepth = int(s.p("depth", 4))
+		return m, nil
+	case "gbt":
+		m := ml.NewGBT(s.Seed)
+		m.NTrees = int(s.p("n_trees", 50))
+		m.LearningRate = s.p("lr", 0.1)
+		m.MaxDepth = int(s.p("depth", 3))
+		m.Subsample = s.p("subsample", 1)
+		return m, nil
+	case "rf":
+		m := ml.NewRandomForest(s.Seed)
+		m.NTrees = int(s.p("n_trees", 20))
+		m.MaxDepth = int(s.p("depth", 6))
+		return m, nil
+	case "knn":
+		m := ml.NewKNN()
+		m.K = int(s.p("k", 5))
+		return m, nil
+	case "nb":
+		return ml.NewGaussianNB(), nil
+	case "svm":
+		m := ml.NewLinearSVM(s.Seed)
+		m.Lambda = s.p("lambda", 1e-3)
+		m.MaxIter = int(s.p("max_iter", 100))
+		m.Tol = s.p("tol", 1e-6)
+		return m, nil
+	default:
+		return nil, fmt.Errorf("ops: unknown model kind %q", s.Kind)
+	}
+}
+
+// Train fits a model on a dataset vertex and scores it on an internal
+// held-out split; the score becomes the model vertex's quality attribute q
+// (the paper's assumed evaluation function, §5). Train implements
+// graph.WarmstartableOp.
+type Train struct {
+	Spec ModelSpec
+	// Label is the target column.
+	Label string
+	// TestFrac is the held-out fraction for quality scoring (default
+	// 0.25).
+	TestFrac float64
+	// Warmstart is the user's opt-in (§6.2: "we only warmstart a model
+	// training operation when users explicitly request it").
+	Warmstart bool
+
+	donor ml.Model
+	// lastWarmstarted records whether the most recent Run adopted a
+	// donor; the executor copies it onto the model vertex.
+	lastWarmstarted bool
+}
+
+// LastWarmstarted reports whether the most recent Run was warmstarted.
+func (o *Train) LastWarmstarted() bool { return o.lastWarmstarted }
+
+// Name implements graph.Operation.
+func (o *Train) Name() string { return "train:" + o.Spec.Kind }
+
+// Hash implements graph.Operation. The warmstart flag and donor are
+// deliberately excluded: they change how training runs, not which artifact
+// it denotes.
+func (o *Train) Hash() string {
+	return graph.OpHash("train", fmt.Sprintf("%s|%s|%g", o.Spec.canonical(), o.Label, o.TestFrac))
+}
+
+// OutKind implements graph.Operation.
+func (o *Train) OutKind() graph.Kind { return graph.ModelKind }
+
+// CanWarmstart implements graph.WarmstartableOp.
+func (o *Train) CanWarmstart() bool { return o.Warmstart }
+
+// ModelKind implements graph.WarmstartableOp.
+func (o *Train) ModelKind() string { return o.Spec.Kind }
+
+// SetDonor implements graph.WarmstartableOp.
+func (o *Train) SetDonor(m ml.Model) { o.donor = m }
+
+// Run implements graph.Operation.
+func (o *Train) Run(inputs []graph.Artifact) (graph.Artifact, error) {
+	in, err := one(inputs)
+	if err != nil {
+		return nil, err
+	}
+	f, err := frameOf(in)
+	if err != nil {
+		return nil, err
+	}
+	label := f.Column(o.Label)
+	if label == nil {
+		return nil, fmt.Errorf("ops: train: no label column %q", o.Label)
+	}
+	features := numericFeatureNames(f, o.Label)
+	x, _ := f.NumericMatrix(features...)
+	y := make([]float64, label.Len())
+	for i := range y {
+		y[i] = label.Float(i)
+	}
+	tf := o.TestFrac
+	if tf == 0 {
+		tf = 0.25
+	}
+	xtr, ytr, xte, yte := ml.TrainTestSplit(x, y, tf, o.Spec.Seed)
+	model, err := o.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	warmstarted := false
+	if o.donor != nil {
+		if w, ok := model.(ml.Warmstarter); ok {
+			warmstarted = w.WarmstartFrom(o.donor)
+		}
+	}
+	if err := model.Fit(xtr, ytr); err != nil {
+		return nil, err
+	}
+	quality := modelQuality(model, xte, yte)
+	o.lastWarmstarted = warmstarted
+	return &graph.ModelArtifact{Model: model, Quality: quality, Features: features}, nil
+}
+
+// modelQuality scores classifiers by AUC-ROC and regressors by 1/(1+RMSE),
+// both in [0,1].
+func modelQuality(m ml.Model, x [][]float64, y []float64) float64 {
+	pred := m.Predict(x)
+	if m.Kind() == "linreg" {
+		return 1 / (1 + ml.RMSE(y, pred))
+	}
+	return ml.AUCROC(y, pred)
+}
+
+// featureMatrix builds a dense matrix with exactly the model's feature
+// columns, zero-filling features the frame lacks (e.g. one-hot categories
+// absent from a test split). This keeps Predict/Evaluate dimensionality
+// consistent with training.
+func featureMatrix(f *data.Frame, features []string) [][]float64 {
+	rows := f.NumRows()
+	out := make([][]float64, rows)
+	flat := make([]float64, rows*len(features))
+	for i := range out {
+		out[i], flat = flat[:len(features)], flat[len(features):]
+	}
+	for j, name := range features {
+		c := f.Column(name)
+		if c == nil || !c.Type.IsNumeric() {
+			continue // leave zeros
+		}
+		for i := 0; i < rows; i++ {
+			if !c.IsMissing(i) {
+				out[i][j] = c.Float(i)
+			}
+		}
+	}
+	return out
+}
+
+// Predict appends a "prediction" column scoring each row of the dataset
+// with the model (multi-input: [model, dataset]).
+type Predict struct{}
+
+// Name implements graph.Operation.
+func (o Predict) Name() string { return "predict" }
+
+// Hash implements graph.Operation.
+func (o Predict) Hash() string { return graph.OpHash("predict", "") }
+
+// OutKind implements graph.Operation.
+func (o Predict) OutKind() graph.Kind { return graph.DatasetKind }
+
+// Run implements graph.Operation.
+func (o Predict) Run(inputs []graph.Artifact) (graph.Artifact, error) {
+	if len(inputs) != 2 {
+		return nil, fmt.Errorf("ops: predict: got %d inputs, want [model, dataset]", len(inputs))
+	}
+	ma, ok := inputs[0].(*graph.ModelArtifact)
+	if !ok {
+		return nil, fmt.Errorf("ops: predict: first input is %T, want model", inputs[0])
+	}
+	f, err := frameOf(inputs[1])
+	if err != nil {
+		return nil, err
+	}
+	x := featureMatrix(f, ma.Features)
+	pred := ma.Model.Predict(x)
+	var lineage strings.Builder
+	for _, c := range f.Columns() {
+		lineage.WriteString(c.ID)
+	}
+	nc := &data.Column{
+		ID:     data.DeriveID(o.Hash(), lineage.String()),
+		Name:   "prediction",
+		Type:   data.Float64,
+		Floats: pred,
+	}
+	out, err := f.WithColumn(nc)
+	if err != nil {
+		return nil, err
+	}
+	return &graph.DatasetArtifact{Frame: out}, nil
+}
+
+// Metric names an evaluation metric for Evaluate.
+type Metric string
+
+// Supported evaluation metrics.
+const (
+	AUC      Metric = "auc"
+	Acc      Metric = "accuracy"
+	LogLoss  Metric = "logloss"
+	RMSEName Metric = "rmse"
+)
+
+// Evaluate scores a model against a labelled dataset, yielding an Aggregate
+// (multi-input: [model, dataset]).
+type Evaluate struct {
+	Label  string
+	Metric Metric
+}
+
+// Name implements graph.Operation.
+func (o Evaluate) Name() string { return "evaluate:" + string(o.Metric) }
+
+// Hash implements graph.Operation.
+func (o Evaluate) Hash() string {
+	return graph.OpHash("evaluate", fmt.Sprintf("%s|%s", o.Label, o.Metric))
+}
+
+// OutKind implements graph.Operation.
+func (o Evaluate) OutKind() graph.Kind { return graph.AggregateKind }
+
+// Run implements graph.Operation.
+func (o Evaluate) Run(inputs []graph.Artifact) (graph.Artifact, error) {
+	if len(inputs) != 2 {
+		return nil, fmt.Errorf("ops: evaluate: got %d inputs, want [model, dataset]", len(inputs))
+	}
+	ma, ok := inputs[0].(*graph.ModelArtifact)
+	if !ok {
+		return nil, fmt.Errorf("ops: evaluate: first input is %T, want model", inputs[0])
+	}
+	f, err := frameOf(inputs[1])
+	if err != nil {
+		return nil, err
+	}
+	label := f.Column(o.Label)
+	if label == nil {
+		return nil, fmt.Errorf("ops: evaluate: no label column %q", o.Label)
+	}
+	x := featureMatrix(f, ma.Features)
+	y := make([]float64, label.Len())
+	for i := range y {
+		y[i] = label.Float(i)
+	}
+	pred := ma.Model.Predict(x)
+	var v float64
+	switch o.Metric {
+	case Acc:
+		v = ml.Accuracy(y, pred)
+	case LogLoss:
+		v = ml.LogLoss(y, pred)
+	case RMSEName:
+		v = ml.RMSE(y, pred)
+	default:
+		v = ml.AUCROC(y, pred)
+	}
+	return &graph.AggregateArtifact{Value: v, Text: fmt.Sprintf("%s=%.4f", o.Metric, v)}, nil
+}

@@ -1,0 +1,129 @@
+// Package persist saves and restores the collaborative-optimizer server's
+// state — the Experiment Graph and the materialized artifact store — so a
+// collabd daemon survives restarts without losing the accumulated history
+// of the collaborative environment.
+//
+// Layout under the data directory:
+//
+//	eg.gob     Experiment Graph snapshot
+//	store.gob  materialized artifact contents (column dedup is rebuilt on
+//	           load from the preserved lineage IDs)
+//
+// Writes are atomic: content goes to a temp file that is renamed over the
+// target, so a crash mid-save never corrupts the previous state.
+package persist
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/eg"
+	"repro/internal/graph"
+
+	// Register artifact and model types for gob.
+	_ "repro/internal/remote"
+)
+
+const (
+	egFile    = "eg.gob"
+	storeFile = "store.gob"
+)
+
+// storeSnapshot is the serialized artifact store: artifact content by
+// vertex ID. Column deduplication is an in-memory property that Put
+// re-establishes on load (lineage IDs are preserved inside the frames).
+type storeSnapshot struct {
+	Artifacts map[string]artifactRecord
+}
+
+// artifactRecord wraps the Artifact interface for gob.
+type artifactRecord struct {
+	Content graph.Artifact
+}
+
+// Save writes the server's EG and store under dir, creating it if needed.
+func Save(srv *core.Server, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := writeGobFile(filepath.Join(dir, egFile), srv.EG.Snapshot()); err != nil {
+		return err
+	}
+	snap := storeSnapshot{Artifacts: make(map[string]artifactRecord)}
+	for _, id := range srv.Store.StoredIDs() {
+		if content := srv.Store.Get(id); content != nil {
+			snap.Artifacts[id] = artifactRecord{Content: content}
+		}
+	}
+	return writeGobFile(filepath.Join(dir, storeFile), &snap)
+}
+
+// Load restores a previously saved state into the server. A missing data
+// directory (first boot) is not an error; Load then leaves the server
+// empty and returns false.
+func Load(srv *core.Server, dir string) (restored bool, err error) {
+	var egSnap eg.Snapshot
+	if err := readGobFile(filepath.Join(dir, egFile), &egSnap); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	var st storeSnapshot
+	if err := readGobFile(filepath.Join(dir, storeFile), &st); err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			return false, err
+		}
+	}
+	srv.EG = eg.FromSnapshot(&egSnap)
+	for id, rec := range st.Artifacts {
+		if rec.Content == nil {
+			continue
+		}
+		if err := srv.Store.Put(id, rec.Content); err != nil {
+			return false, fmt.Errorf("persist: restoring %s: %w", id, err)
+		}
+		srv.EG.SetMaterialized(id, true)
+	}
+	// Vertices whose content did not survive must not be marked
+	// materialized, or the planner would propose loading them.
+	for _, id := range srv.EG.MaterializedIDs() {
+		if !srv.Store.Has(id) {
+			srv.EG.SetMaterialized(id, false)
+		}
+	}
+	return true, nil
+}
+
+func writeGobFile(path string, v any) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(v); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: encode %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func readGobFile(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("persist: decode %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

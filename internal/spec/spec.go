@@ -1,0 +1,267 @@
+// Package spec parses declarative JSON workload descriptions into workload
+// DAGs — the CLI-facing analogue of the paper's script parser (§3.1). A
+// spec names CSV sources and a list of steps; each step applies one
+// operation from the ops vocabulary to previously defined nodes.
+//
+// Example:
+//
+//	{
+//	  "sources": [{"name": "train", "path": "train.csv"}],
+//	  "steps": [
+//	    {"id": "clean",  "input": "train", "op": "fillna"},
+//	    {"id": "enc",    "input": "clean", "op": "onehot", "col": "city"},
+//	    {"id": "model",  "input": "enc",   "op": "train", "model": "gbt",
+//	     "label": "y", "params": {"n_trees": 20}},
+//	    {"id": "score",  "inputs": ["model", "enc"], "op": "evaluate",
+//	     "label": "y", "metric": "auc"}
+//	  ]
+//	}
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/graph"
+	"repro/internal/ops"
+)
+
+// Workload is a parsed spec.
+type Workload struct {
+	Sources []Source `json:"sources"`
+	Steps   []Step   `json:"steps"`
+}
+
+// Source names one raw CSV input.
+type Source struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+}
+
+// Step is one operation application. Which fields are meaningful depends
+// on Op; unknown combinations fail at Build time with a descriptive error.
+type Step struct {
+	// ID names the step's output for later steps.
+	ID string `json:"id"`
+	// Input (single) or Inputs (multi) reference sources or prior steps.
+	Input  string   `json:"input,omitempty"`
+	Inputs []string `json:"inputs,omitempty"`
+	// Op selects the operation.
+	Op string `json:"op"`
+
+	// Common operation parameters.
+	Col    string             `json:"col,omitempty"`
+	Cols   []string           `json:"cols,omitempty"`
+	Out    string             `json:"out,omitempty"`
+	Fn     string             `json:"fn,omitempty"`
+	Cmp    string             `json:"cmp,omitempty"`
+	Value  float64            `json:"value,omitempty"`
+	Key    string             `json:"key,omitempty"`
+	Join   string             `json:"join,omitempty"`
+	K      int                `json:"k,omitempty"`
+	Bins   int                `json:"bins,omitempty"`
+	Window int                `json:"window,omitempty"`
+	N      int                `json:"n,omitempty"`
+	Seed   int64              `json:"seed,omitempty"`
+	Aggs   []AggSpec          `json:"aggs,omitempty"`
+	Label  string             `json:"label,omitempty"`
+	Metric string             `json:"metric,omitempty"`
+	Model  string             `json:"model,omitempty"`
+	Params map[string]float64 `json:"params,omitempty"`
+	// Warmstart opts a train step into §6.2 warmstarting.
+	Warmstart bool `json:"warmstart,omitempty"`
+}
+
+// AggSpec is one group-by aggregation.
+type AggSpec struct {
+	Col  string `json:"col"`
+	Kind string `json:"kind"` // mean|sum|min|max|count
+}
+
+// Parse decodes a JSON spec and validates its structure.
+func Parse(b []byte) (*Workload, error) {
+	var w Workload
+	if err := json.Unmarshal(b, &w); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if len(w.Sources) == 0 {
+		return nil, fmt.Errorf("spec: no sources")
+	}
+	if len(w.Steps) == 0 {
+		return nil, fmt.Errorf("spec: no steps")
+	}
+	names := make(map[string]bool)
+	for _, s := range w.Sources {
+		if s.Name == "" || s.Path == "" {
+			return nil, fmt.Errorf("spec: source needs name and path")
+		}
+		if names[s.Name] {
+			return nil, fmt.Errorf("spec: duplicate name %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	for i, st := range w.Steps {
+		if st.ID == "" {
+			return nil, fmt.Errorf("spec: step %d has no id", i)
+		}
+		if names[st.ID] {
+			return nil, fmt.Errorf("spec: duplicate name %q", st.ID)
+		}
+		refs := st.Inputs
+		if st.Input != "" {
+			refs = append(refs, st.Input)
+		}
+		if len(refs) == 0 {
+			return nil, fmt.Errorf("spec: step %q has no inputs", st.ID)
+		}
+		for _, r := range refs {
+			if !names[r] {
+				return nil, fmt.Errorf("spec: step %q references unknown %q", st.ID, r)
+			}
+		}
+		names[st.ID] = true
+	}
+	return &w, nil
+}
+
+// LoadFrame resolves a source path to a dataframe; the default reads CSV
+// from disk, tests substitute synthetic frames.
+type LoadFrame func(path string) (*data.Frame, error)
+
+// Build turns the spec into a workload DAG, returning the DAG and the
+// node for every named source and step.
+func (w *Workload) Build(load LoadFrame) (*graph.DAG, map[string]*graph.Node, error) {
+	if load == nil {
+		load = data.ReadCSVFile
+	}
+	dag := graph.NewDAG()
+	nodes := make(map[string]*graph.Node, len(w.Sources)+len(w.Steps))
+	for _, s := range w.Sources {
+		frame, err := load(s.Path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("spec: source %q: %w", s.Name, err)
+		}
+		nodes[s.Name] = dag.AddSource(s.Path, &graph.DatasetArtifact{Frame: frame})
+	}
+	for _, st := range w.Steps {
+		op, err := st.operation()
+		if err != nil {
+			return nil, nil, err
+		}
+		var parents []*graph.Node
+		for _, r := range st.allInputs() {
+			parents = append(parents, nodes[r])
+		}
+		if len(parents) == 1 {
+			nodes[st.ID] = dag.Apply(parents[0], op)
+		} else {
+			nodes[st.ID] = dag.Combine(op, parents...)
+		}
+	}
+	return dag, nodes, nil
+}
+
+func (st Step) allInputs() []string {
+	if st.Input != "" {
+		return append([]string{st.Input}, st.Inputs...)
+	}
+	return st.Inputs
+}
+
+// operation maps the step to a concrete ops value.
+func (st Step) operation() (graph.Operation, error) {
+	switch st.Op {
+	case "select":
+		return ops.Select{Cols: st.Cols}, nil
+	case "drop":
+		return ops.Drop{Cols: st.Cols}, nil
+	case "fillna":
+		return ops.FillNA{Cols: st.Cols}, nil
+	case "onehot":
+		return ops.OneHot{Col: st.Col}, nil
+	case "filter":
+		return ops.Filter{Col: st.Col, Op: ops.Cmp(st.Cmp), Value: st.Value}, nil
+	case "map":
+		return ops.MapCol{Col: st.Col, Fn: ops.MapFn(st.Fn), Arg: st.Value}, nil
+	case "derive":
+		return ops.Derive{Out: st.Out, Inputs: st.Cols, Fn: ops.DeriveFn(st.Fn)}, nil
+	case "sample":
+		return ops.Sample{N: st.N, Seed: st.Seed}, nil
+	case "sort":
+		return ops.SortBy{Col: st.Col, Desc: st.Fn == "desc"}, nil
+	case "distinct":
+		return ops.Distinct{Cols: st.Cols}, nil
+	case "bin":
+		return ops.Bin{Col: st.Col, Bins: st.Bins}, nil
+	case "rolling_mean":
+		return ops.RollingMean{Col: st.Col, Out: st.Out, Window: st.Window}, nil
+	case "append_rows":
+		return ops.AppendRows{}, nil
+	case "groupby":
+		aggs, err := parseAggs(st.Aggs)
+		if err != nil {
+			return nil, fmt.Errorf("spec: step %q: %w", st.ID, err)
+		}
+		return ops.GroupByAgg{Key: st.Key, Aggs: aggs}, nil
+	case "join":
+		kind := data.Inner
+		if st.Join == "left" {
+			kind = data.Left
+		}
+		return ops.Join{Key: st.Key, Kind: kind}, nil
+	case "concat":
+		return ops.Concat{}, nil
+	case "scale":
+		return ops.ScaleTransform{Kind: ops.ScalerKind(st.Fn), Label: st.Label}, nil
+	case "select_k_best":
+		return ops.SelectKBest{K: st.K, Label: st.Label}, nil
+	case "pca":
+		return ops.PCATransform{K: st.K, Label: st.Label}, nil
+	case "kmeans":
+		return ops.KMeansTransform{K: st.K, Label: st.Label, Seed: st.Seed}, nil
+	case "count_vectorize":
+		return ops.CountVectorize{Col: st.Col, MaxFeatures: st.N}, nil
+	case "agg":
+		aggs, err := parseAggs([]AggSpec{{Col: st.Col, Kind: st.Fn}})
+		if err != nil {
+			return nil, fmt.Errorf("spec: step %q: %w", st.ID, err)
+		}
+		return ops.AggregateCol{Col: st.Col, Kind: aggs[0].Kind}, nil
+	case "train":
+		return &ops.Train{
+			Spec:      ops.ModelSpec{Kind: st.Model, Params: st.Params, Seed: st.Seed},
+			Label:     st.Label,
+			Warmstart: st.Warmstart,
+		}, nil
+	case "predict":
+		return ops.Predict{}, nil
+	case "evaluate":
+		return ops.Evaluate{Label: st.Label, Metric: ops.Metric(st.Metric)}, nil
+	default:
+		return nil, fmt.Errorf("spec: step %q: unknown op %q", st.ID, st.Op)
+	}
+}
+
+func parseAggs(in []AggSpec) ([]data.Agg, error) {
+	out := make([]data.Agg, 0, len(in))
+	for _, a := range in {
+		var kind data.AggKind
+		switch a.Kind {
+		case "mean":
+			kind = data.AggMean
+		case "sum":
+			kind = data.AggSum
+		case "min":
+			kind = data.AggMin
+		case "max":
+			kind = data.AggMax
+		case "count":
+			kind = data.AggCount
+		default:
+			return nil, fmt.Errorf("unknown aggregate %q", a.Kind)
+		}
+		out = append(out, data.Agg{Col: a.Col, Kind: kind})
+	}
+	return out, nil
+}

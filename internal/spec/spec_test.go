@@ -1,0 +1,162 @@
+package spec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+const sampleSpec = `{
+  "sources": [{"name": "train", "path": "train.csv"}],
+  "steps": [
+    {"id": "clean",  "input": "train", "op": "fillna"},
+    {"id": "enc",    "input": "clean", "op": "onehot", "col": "cat"},
+    {"id": "feat",   "input": "enc",   "op": "derive", "out": "ab",
+     "cols": ["a", "b"], "fn": "sum"},
+    {"id": "model",  "input": "feat",  "op": "train", "model": "tree",
+     "label": "y", "params": {"depth": 3}},
+    {"id": "score",  "inputs": ["model", "feat"], "op": "evaluate",
+     "label": "y", "metric": "auc"}
+  ]
+}`
+
+func testLoad(_ string) (*data.Frame, error) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	a := make([]float64, n)
+	b := make([]float64, n)
+	cat := make([]string, n)
+	y := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+		cat[i] = []string{"u", "v"}[rng.Intn(2)]
+		if a[i]+b[i] > 0 {
+			y[i] = 1
+		}
+	}
+	return data.NewFrame(
+		data.NewFloatColumn("a", a),
+		data.NewFloatColumn("b", b),
+		data.NewStringColumn("cat", cat),
+		data.NewFloatColumn("y", y),
+	)
+}
+
+func TestParseAndBuildEndToEnd(t *testing.T) {
+	w, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	dag, nodes, err := w.Build(testLoad)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if nodes["model"].Kind != graph.ModelKind {
+		t.Errorf("model step kind = %s", nodes["model"].Kind)
+	}
+	srv := core.NewServer(store.New(cost.Memory()), core.WithBudget(1<<30))
+	if _, err := core.NewClient(srv).Run(dag); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	score := nodes["score"].Content.(*graph.AggregateArtifact).Value
+	if score < 0.6 {
+		t.Errorf("AUC=%.3f, pipeline should learn", score)
+	}
+	// Re-building from the same spec yields identical vertex IDs.
+	dag2, nodes2, err := w.Build(testLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes2["score"].ID != nodes["score"].ID {
+		t.Error("same spec must give same vertex IDs")
+	}
+	res, err := core.NewClient(srv).Run(dag2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reused == 0 {
+		t.Error("spec re-run should reuse")
+	}
+}
+
+func TestParseValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"bad json", "{", "spec:"},
+		{"no sources", `{"steps":[{"id":"a","input":"x","op":"fillna"}]}`, "no sources"},
+		{"no steps", `{"sources":[{"name":"t","path":"p"}]}`, "no steps"},
+		{"unknown ref", `{"sources":[{"name":"t","path":"p"}],"steps":[{"id":"a","input":"nope","op":"fillna"}]}`, "unknown"},
+		{"dup id", `{"sources":[{"name":"t","path":"p"}],"steps":[{"id":"t","input":"t","op":"fillna"}]}`, "duplicate"},
+		{"no id", `{"sources":[{"name":"t","path":"p"}],"steps":[{"input":"t","op":"fillna"}]}`, "no id"},
+		{"no input", `{"sources":[{"name":"t","path":"p"}],"steps":[{"id":"a","op":"fillna"}]}`, "no inputs"},
+	}
+	for _, c := range cases {
+		_, err := Parse([]byte(c.in))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err=%v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBuildUnknownOp(t *testing.T) {
+	w, err := Parse([]byte(`{"sources":[{"name":"t","path":"p"}],
+		"steps":[{"id":"a","input":"t","op":"frobnicate"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Build(testLoad); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Errorf("want unknown-op error, got %v", err)
+	}
+}
+
+func TestAllOpsResolvable(t *testing.T) {
+	opsToTry := []Step{
+		{Op: "select", Cols: []string{"a"}},
+		{Op: "drop", Cols: []string{"a"}},
+		{Op: "fillna"},
+		{Op: "onehot", Col: "cat"},
+		{Op: "filter", Col: "a", Cmp: "gt", Value: 0},
+		{Op: "map", Col: "a", Fn: "log1p"},
+		{Op: "derive", Out: "d", Cols: []string{"a", "b"}, Fn: "sum"},
+		{Op: "sample", N: 10, Seed: 1},
+		{Op: "sort", Col: "a"},
+		{Op: "distinct", Cols: []string{"cat"}},
+		{Op: "bin", Col: "a", Bins: 4},
+		{Op: "rolling_mean", Col: "a", Out: "r", Window: 3},
+		{Op: "append_rows"},
+		{Op: "groupby", Key: "cat", Aggs: []AggSpec{{Col: "a", Kind: "mean"}}},
+		{Op: "join", Key: "cat", Join: "left"},
+		{Op: "concat"},
+		{Op: "scale", Fn: "std", Label: "y"},
+		{Op: "select_k_best", K: 2, Label: "y"},
+		{Op: "pca", K: 2, Label: "y"},
+		{Op: "kmeans", K: 2, Label: "y"},
+		{Op: "count_vectorize", Col: "cat", N: 8},
+		{Op: "agg", Col: "a", Fn: "mean"},
+		{Op: "train", Model: "tree", Label: "y"},
+		{Op: "predict"},
+		{Op: "evaluate", Label: "y", Metric: "auc"},
+	}
+	for _, st := range opsToTry {
+		if _, err := st.operation(); err != nil {
+			t.Errorf("op %q: %v", st.Op, err)
+		}
+	}
+}
+
+func TestBadAggregate(t *testing.T) {
+	st := Step{ID: "g", Op: "groupby", Key: "cat", Aggs: []AggSpec{{Col: "a", Kind: "median"}}}
+	if _, err := st.operation(); err == nil {
+		t.Error("unknown aggregate should error")
+	}
+}

@@ -1,0 +1,122 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/graph"
+)
+
+// TestQuickPhysicalBytesMatchReferenceModel drives the store with a random
+// put/evict sequence over artifacts sharing a column pool and checks the
+// deduplicated accounting against a naive reference model.
+func TestQuickPhysicalBytesMatchReferenceModel(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Column pool: 6 shared columns of one common length (frames
+		// require equal-length columns).
+		rows := 1 + rng.Intn(16)
+		pool := make([]*data.Column, 6)
+		for j := range pool {
+			pool[j] = data.NewFloatColumn(fmt.Sprintf("c%d", j), make([]float64, rows))
+		}
+		m := New(cost.Memory())
+		// Reference: which artifact holds which column IDs.
+		held := make(map[string][]string)
+		colSize := make(map[string]int64)
+		for _, c := range pool {
+			colSize[c.ID] = c.SizeBytes()
+		}
+		for step := 0; step < 40; step++ {
+			id := fmt.Sprintf("v%d", rng.Intn(10))
+			if rng.Intn(3) == 0 {
+				m.Evict(id)
+				delete(held, id)
+			} else if _, ok := held[id]; !ok {
+				// random subset of the pool, ≥1 column
+				var cols []*data.Column
+				var ids []string
+				for _, c := range pool {
+					if rng.Intn(2) == 0 {
+						cols = append(cols, c)
+						ids = append(ids, c.ID)
+					}
+				}
+				if len(cols) == 0 {
+					cols = pool[:1]
+					ids = []string{pool[0].ID}
+				}
+				if err := m.Put(id, &graph.DatasetArtifact{Frame: data.MustNewFrame(cols...)}); err != nil {
+					return false
+				}
+				held[id] = ids
+			}
+			// reference physical = union of held column IDs
+			want := int64(0)
+			seen := map[string]bool{}
+			for _, ids := range held {
+				for _, cid := range ids {
+					if !seen[cid] {
+						seen[cid] = true
+						want += colSize[cid]
+					}
+				}
+			}
+			if m.PhysicalBytes() != want {
+				return false
+			}
+			if m.Len() != len(held) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGetReturnsWhatWasPut: any stored dataset round-trips with
+// identical column IDs, names and lengths.
+func TestQuickGetReturnsWhatWasPut(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(cost.Memory())
+		nCols := 1 + rng.Intn(5)
+		cols := make([]*data.Column, nCols)
+		rows := 1 + rng.Intn(10)
+		for j := range cols {
+			vals := make([]float64, rows)
+			for i := range vals {
+				vals[i] = rng.Float64()
+			}
+			cols[j] = data.NewFloatColumn(fmt.Sprintf("c%d", j), vals)
+		}
+		f := data.MustNewFrame(cols...)
+		if err := m.Put("v", &graph.DatasetArtifact{Frame: f}); err != nil {
+			return false
+		}
+		got, ok := m.Get("v").(*graph.DatasetArtifact)
+		if !ok || got.Frame.NumRows() != rows || got.Frame.NumCols() != nCols {
+			return false
+		}
+		for j, c := range got.Frame.Columns() {
+			if c.ID != cols[j].ID || c.Name != cols[j].Name {
+				return false
+			}
+			for i := range c.Floats {
+				if c.Floats[i] != cols[j].Floats[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

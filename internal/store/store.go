@@ -1,0 +1,213 @@
+// Package store implements the artifact storage manager (§5.3): a
+// content-addressed store that deduplicates dataset columns by their
+// lineage IDs, so two artifacts sharing columns cost the shared bytes only
+// once. Models and aggregates are stored as whole blobs.
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/graph"
+)
+
+type colEntry struct {
+	col  *data.Column
+	refs int
+}
+
+type manifest struct {
+	colIDs []string
+	names  []string
+}
+
+// Manager stores artifact content for materialized Experiment Graph
+// vertices. It is safe for concurrent use.
+type Manager struct {
+	mu      sync.RWMutex
+	profile cost.Profile
+
+	cols   map[string]*colEntry
+	frames map[string]manifest
+	blobs  map[string]graph.Artifact
+	// blobSizes caches blob sizes so physical accounting is O(1).
+	blobSizes map[string]int64
+	physical  int64
+	logical   map[string]int64
+}
+
+// New returns an empty storage manager with the given load-cost profile.
+func New(profile cost.Profile) *Manager {
+	return &Manager{
+		profile:   profile,
+		cols:      make(map[string]*colEntry),
+		frames:    make(map[string]manifest),
+		blobs:     make(map[string]graph.Artifact),
+		blobSizes: make(map[string]int64),
+		logical:   make(map[string]int64),
+	}
+}
+
+// Profile returns the manager's load-cost profile.
+func (m *Manager) Profile() cost.Profile { return m.profile }
+
+// Put stores the artifact content for a vertex. Dataset artifacts are
+// decomposed into deduplicated columns; other artifacts are stored whole.
+// Putting an already-present vertex is a no-op.
+func (m *Manager) Put(vertexID string, a graph.Artifact) error {
+	if a == nil {
+		return fmt.Errorf("store: nil artifact for %s", vertexID)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.hasLocked(vertexID) {
+		return nil
+	}
+	if ds, ok := a.(*graph.DatasetArtifact); ok && ds.Frame != nil {
+		man := manifest{}
+		for _, c := range ds.Frame.Columns() {
+			man.colIDs = append(man.colIDs, c.ID)
+			man.names = append(man.names, c.Name)
+			if e, exists := m.cols[c.ID]; exists {
+				e.refs++
+			} else {
+				m.cols[c.ID] = &colEntry{col: c, refs: 1}
+				m.physical += c.SizeBytes()
+			}
+		}
+		m.frames[vertexID] = man
+		m.logical[vertexID] = ds.SizeBytes()
+		return nil
+	}
+	m.blobs[vertexID] = a
+	sz := a.SizeBytes()
+	m.blobSizes[vertexID] = sz
+	m.physical += sz
+	m.logical[vertexID] = sz
+	return nil
+}
+
+// Get retrieves the artifact content for a vertex, or nil if absent.
+// Dataset artifacts are reassembled from the column store; the returned
+// frame shares the stored column arrays (in-memory EG semantics).
+func (m *Manager) Get(vertexID string) graph.Artifact {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if man, ok := m.frames[vertexID]; ok {
+		cols := make([]*data.Column, 0, len(man.colIDs))
+		for i, id := range man.colIDs {
+			e, exists := m.cols[id]
+			if !exists {
+				return nil // torn entry; treat as absent
+			}
+			c := e.col
+			if c.Name != man.names[i] {
+				c = c.WithID(c.ID)
+				c.Name = man.names[i]
+			}
+			cols = append(cols, c)
+		}
+		f, err := data.NewFrame(cols...)
+		if err != nil {
+			return nil
+		}
+		return &graph.DatasetArtifact{Frame: f}
+	}
+	if b, ok := m.blobs[vertexID]; ok {
+		return b
+	}
+	return nil
+}
+
+// Has reports whether the vertex's content is stored.
+func (m *Manager) Has(vertexID string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.hasLocked(vertexID)
+}
+
+func (m *Manager) hasLocked(vertexID string) bool {
+	if _, ok := m.frames[vertexID]; ok {
+		return true
+	}
+	_, ok := m.blobs[vertexID]
+	return ok
+}
+
+// Evict removes a vertex's content, releasing column references and
+// reclaiming physical space for columns no longer referenced.
+func (m *Manager) Evict(vertexID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if man, ok := m.frames[vertexID]; ok {
+		for _, id := range man.colIDs {
+			e := m.cols[id]
+			if e == nil {
+				continue
+			}
+			e.refs--
+			if e.refs <= 0 {
+				m.physical -= e.col.SizeBytes()
+				delete(m.cols, id)
+			}
+		}
+		delete(m.frames, vertexID)
+		delete(m.logical, vertexID)
+		return
+	}
+	if _, ok := m.blobs[vertexID]; ok {
+		m.physical -= m.blobSizes[vertexID]
+		delete(m.blobs, vertexID)
+		delete(m.blobSizes, vertexID)
+		delete(m.logical, vertexID)
+	}
+}
+
+// PhysicalBytes returns the deduplicated bytes actually stored.
+func (m *Manager) PhysicalBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.physical
+}
+
+// LogicalBytes returns the sum of artifact sizes as if stored without
+// deduplication (the paper's "real size of the materialized artifacts",
+// Figure 6, is this value for SA).
+func (m *Manager) LogicalBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var n int64
+	for _, sz := range m.logical {
+		n += sz
+	}
+	return n
+}
+
+// StoredIDs returns the vertex IDs with stored content.
+func (m *Manager) StoredIDs() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.frames)+len(m.blobs))
+	for id := range m.frames {
+		out = append(out, id)
+	}
+	for id := range m.blobs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// LoadCost returns the modeled retrieval cost Cl for a stored artifact of
+// the given size under the manager's profile.
+func (m *Manager) LoadCost(sizeBytes int64) float64 {
+	return m.profile.LoadCost(sizeBytes).Seconds()
+}
+
+// Len returns the number of stored artifacts.
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.frames) + len(m.blobs)
+}

@@ -1,0 +1,364 @@
+package kaggle
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/graph"
+	"repro/internal/ops"
+)
+
+// NamedWorkload pairs a Table 1 workload with its builder.
+type NamedWorkload struct {
+	ID          int
+	Description string
+	Build       func(s *Sources) *graph.DAG
+}
+
+// AllWorkloads returns the eight workloads of Table 1 in order.
+func AllWorkloads() []NamedWorkload {
+	return []NamedWorkload{
+		{1, "feature engineering + logreg/rf/gbt (start-here gentle intro)", Workload1},
+		{2, "bureau joins + manual feature engineering + gbt", Workload2},
+		{3, "workload 2 with more behavioural features", Workload3},
+		{4, "workload 1 features + gbt with different hyperparameters", Workload4},
+		{5, "workload 1 features + random/grid search over gbt", Workload5},
+		{6, "gbt on the generated features of workload 2", Workload6},
+		{7, "gbt on the generated features of workload 3", Workload7},
+		{8, "join of workload 1 and 2 features + gbt", Workload8},
+	}
+}
+
+// gbtSpec builds a deterministic GBT spec; all workloads use it so that
+// equal hyperparameters give equal vertex IDs.
+func gbtSpec(nTrees, depth int, lr float64, seed int64) ops.ModelSpec {
+	return ops.ModelSpec{
+		Kind:   "gbt",
+		Params: map[string]float64{"n_trees": float64(nTrees), "depth": float64(depth), "lr": lr},
+		Seed:   seed,
+	}
+}
+
+// appCategoricals are the string columns one-hot encoded by workload 1.
+var appCategoricals = []string{
+	"NAME_CONTRACT_TYPE", "CODE_GENDER", "FLAG_OWN_CAR",
+	"NAME_EDUCATION_TYPE", "NAME_FAMILY_STATUS", "OCCUPATION_TYPE",
+}
+
+// amountCols get log-transforms in workload 1.
+var amountCols = []string{"AMT_INCOME_TOTAL", "AMT_CREDIT", "AMT_ANNUITY", "AMT_GOODS_PRICE"}
+
+// w1Features builds Workload 1's feature-engineering pipeline over an
+// application table node (train or test). It is shared verbatim by
+// workloads 4, 5, and 8, which is what creates their reuse opportunities.
+func w1Features(w *graph.DAG, app *graph.Node) *graph.Node {
+	cur := w.Apply(app, ops.MapCol{Col: "DAYS_EMPLOYED", Fn: ops.ReplaceVal, Arg: anomalousDaysEmployed})
+	cur = w.Apply(cur, ops.FillNA{})
+	for _, cat := range appCategoricals {
+		cur = w.Apply(cur, ops.OneHot{Col: cat})
+	}
+	// Domain ratios from the public "gentle introduction" script.
+	cur = w.Apply(cur, ops.Derive{Out: "CREDIT_INCOME_PERCENT", Inputs: []string{"AMT_CREDIT", "AMT_INCOME_TOTAL"}, Fn: ops.Ratio})
+	cur = w.Apply(cur, ops.Derive{Out: "ANNUITY_INCOME_PERCENT", Inputs: []string{"AMT_ANNUITY", "AMT_INCOME_TOTAL"}, Fn: ops.Ratio})
+	cur = w.Apply(cur, ops.Derive{Out: "CREDIT_TERM", Inputs: []string{"AMT_ANNUITY", "AMT_CREDIT"}, Fn: ops.Ratio})
+	cur = w.Apply(cur, ops.Derive{Out: "DAYS_EMPLOYED_PERCENT", Inputs: []string{"DAYS_EMPLOYED", "DAYS_BIRTH"}, Fn: ops.Ratio})
+	// Log-transform the monetary columns.
+	for _, col := range amountCols {
+		cur = w.Apply(cur, ops.MapCol{Col: col, Fn: ops.Log1p})
+	}
+	// Polynomial features over the external scores (the script's
+	// PolynomialFeatures block): pairwise products and squares.
+	ext := []string{"EXT_SOURCE_1", "EXT_SOURCE_2", "EXT_SOURCE_3"}
+	for i := 0; i < len(ext); i++ {
+		cur = w.Apply(cur, ops.Derive{Out: ext[i] + "_SQ", Inputs: []string{ext[i], ext[i]}, Fn: ops.Product})
+		for j := i + 1; j < len(ext); j++ {
+			cur = w.Apply(cur, ops.Derive{
+				Out:    fmt.Sprintf("%s_X_%s", ext[i], ext[j]),
+				Inputs: []string{ext[i], ext[j]},
+				Fn:     ops.Product,
+			})
+		}
+	}
+	cur = w.Apply(cur, ops.Derive{Out: "EXT_MEAN", Inputs: ext, Fn: ops.Mean})
+	return cur
+}
+
+// trainFeatures drops bookkeeping columns so learners see only features.
+func dropIDs(w *graph.DAG, n *graph.Node) *graph.Node {
+	return w.Apply(n, ops.Drop{Cols: []string{"SK_ID_CURR"}})
+}
+
+// Workload1 models the "Start Here: A Gentle Introduction" script [26]:
+// feature engineering on the application table, an external KDE
+// visualization, train/test alignment, and logistic regression, random
+// forest, and GBT models.
+func Workload1(s *Sources) *graph.DAG {
+	w := graph.NewDAG()
+	srcs := s.AddTo(w)
+
+	trainFeat := w1Features(w, srcs["application_train"])
+	testFeat := w1Features(w, srcs["application_test"])
+
+	// The two alignment operations of §7.2.
+	// Alignment drops TARGET from the train side (absent in test), so
+	// models train on the pre-alignment features, which keep the label.
+	_ = w.Combine(ops.Align{Side: ops.LeftSide}, trainFeat, testFeat)
+	alignedTest := w.Combine(ops.Align{Side: ops.RightSide}, trainFeat, testFeat)
+
+	// External, compute-intensive visualization (bivariate KDE, §7.2).
+	w.Apply(trainFeat, ops.KDE2D{ColX: "EXT_SOURCE_2", ColY: "DAYS_BIRTH", GridSize: 32, Bandwidth: 0.5})
+
+	trainable := dropIDs(w, trainFeat)
+
+	lr := w.Apply(trainable, &ops.Train{
+		Spec:  ops.ModelSpec{Kind: "logreg", Params: map[string]float64{"max_iter": 60, "lr": 0.3}, Seed: 11},
+		Label: "TARGET",
+	})
+	rf := w.Apply(trainable, &ops.Train{
+		Spec:  ops.ModelSpec{Kind: "rf", Params: map[string]float64{"n_trees": 6, "depth": 5}, Seed: 12},
+		Label: "TARGET",
+	})
+	gbt := w.Apply(trainable, &ops.Train{Spec: gbtSpec(12, 3, 0.1, 13), Label: "TARGET"})
+
+	for _, m := range []*graph.Node{lr, rf, gbt} {
+		w.Combine(ops.Evaluate{Label: "TARGET", Metric: ops.AUC}, m, trainable)
+	}
+	// Score the aligned test set with the best-practice GBT.
+	w.Combine(ops.Predict{}, gbt, dropIDs(w, alignedTest))
+	return w
+}
+
+// bureauFeatures aggregates the bureau and bureau_balance tables to client
+// level and joins them onto the application table (Workload 2's core).
+func bureauFeatures(w *graph.DAG, srcs map[string]*graph.Node) *graph.Node {
+	bureau := srcs["bureau"]
+	bb := srcs["bureau_balance"]
+
+	// bureau_balance → per-bureau-account stats, joined back to bureau.
+	bbAgg := w.Apply(bb, ops.GroupByAgg{Key: "SK_ID_BUREAU", Aggs: []data.Agg{
+		{Col: "MONTHS_BALANCE", Kind: data.AggCount},
+		{Col: "DPD", Kind: data.AggMean},
+		{Col: "DPD", Kind: data.AggMax},
+	}})
+	bureauPlus := w.Combine(ops.Join{Key: "SK_ID_BUREAU", Kind: data.Left}, bureau, bbAgg)
+
+	// bureau → per-client stats.
+	perClient := w.Apply(bureauPlus, ops.GroupByAgg{Key: "SK_ID_CURR", Aggs: []data.Agg{
+		{Col: "DAYS_CREDIT", Kind: data.AggMean},
+		{Col: "DAYS_CREDIT", Kind: data.AggMin},
+		{Col: "AMT_CREDIT_SUM", Kind: data.AggSum},
+		{Col: "AMT_CREDIT_SUM", Kind: data.AggMean},
+		{Col: "AMT_CREDIT_SUM_DEBT", Kind: data.AggSum},
+		{Col: "AMT_CREDIT_SUM_OVERDUE", Kind: data.AggMax},
+		{Col: "SK_ID_BUREAU", Kind: data.AggCount},
+		{Col: "DPD_mean", Kind: data.AggMean},
+	}})
+
+	app := w.Apply(srcs["application_train"], ops.FillNA{})
+	joined := w.Combine(ops.Join{Key: "SK_ID_CURR", Kind: data.Left}, app, perClient)
+	joined = w.Apply(joined, ops.FillNA{})
+	joined = w.Apply(joined, ops.Derive{Out: "DEBT_CREDIT_RATIO", Inputs: []string{"AMT_CREDIT_SUM_DEBT_sum", "AMT_CREDIT_SUM_sum"}, Fn: ops.Ratio})
+	joined = w.Apply(joined, ops.Derive{Out: "CREDIT_INCOME_PERCENT", Inputs: []string{"AMT_CREDIT", "AMT_INCOME_TOTAL"}, Fn: ops.Ratio})
+	for _, cat := range []string{"NAME_CONTRACT_TYPE", "CODE_GENDER", "NAME_EDUCATION_TYPE"} {
+		joined = w.Apply(joined, ops.OneHot{Col: cat})
+	}
+	return joined
+}
+
+// previousFeatures aggregates previous_application to client level and
+// joins it (second half of Workload 2).
+func previousFeatures(w *graph.DAG, srcs map[string]*graph.Node, base *graph.Node) *graph.Node {
+	prevAgg := w.Apply(srcs["previous_application"], ops.GroupByAgg{Key: "SK_ID_CURR", Aggs: []data.Agg{
+		{Col: "AMT_APPLICATION", Kind: data.AggMean},
+		{Col: "AMT_APPLICATION", Kind: data.AggMax},
+		{Col: "AMT_CREDIT", Kind: data.AggMean},
+		{Col: "AMT_DOWN_PAYMENT", Kind: data.AggMean},
+		{Col: "SK_ID_PREV", Kind: data.AggCount},
+	}})
+	out := w.Combine(ops.Join{Key: "SK_ID_CURR", Kind: data.Left}, base, prevAgg)
+	out = w.Apply(out, ops.FillNA{})
+	out = w.Apply(out, ops.Derive{Out: "PREV_CREDIT_RATIO", Inputs: []string{"AMT_CREDIT_mean", "AMT_CREDIT"}, Fn: ops.Ratio})
+	return out
+}
+
+// w2Features is Workload 2's full generated-feature table, shared by
+// workloads 6 and 8.
+func w2Features(w *graph.DAG, srcs map[string]*graph.Node) *graph.Node {
+	base := bureauFeatures(w, srcs)
+	return previousFeatures(w, srcs, base)
+}
+
+// Workload2 models the "Introduction to Manual Feature Engineering" script
+// [24]: multi-table joins, aggregation features, and a GBT.
+func Workload2(s *Sources) *graph.DAG {
+	w := graph.NewDAG()
+	srcs := s.AddTo(w)
+	feat := w2Features(w, srcs)
+	trainable := dropIDs(w, feat)
+	gbt := w.Apply(trainable, &ops.Train{Spec: gbtSpec(12, 3, 0.1, 21), Label: "TARGET"})
+	w.Combine(ops.Evaluate{Label: "TARGET", Metric: ops.AUC}, gbt, trainable)
+	return w
+}
+
+// wideFeatureCount is the number of interaction features Workload 3
+// generates on top of Workload 2 — the paper's "resulting preprocessed
+// datasets having more features" whose artifacts dwarf the rest of the
+// suite (W3 is 83.5 GB of the 130 GB union in Table 1).
+const wideFeatureCount = 100
+
+// wideFeaturePool are the numeric columns the interaction generator draws
+// from; all exist in the w3 joined table.
+var wideFeaturePool = []string{
+	"AMT_INCOME_TOTAL", "AMT_CREDIT", "AMT_ANNUITY", "AMT_GOODS_PRICE",
+	"DAYS_BIRTH", "DAYS_EMPLOYED", "EXT_SOURCE_1", "EXT_SOURCE_2",
+	"EXT_SOURCE_3", "CNT_CHILDREN", "REGION_RATING_CLIENT",
+	"DAYS_CREDIT_mean", "AMT_CREDIT_SUM_sum", "AMT_CREDIT_SUM_mean",
+	"AMT_CREDIT_SUM_DEBT_sum", "AMT_CREDIT_SUM_OVERDUE_max",
+	"SK_ID_BUREAU_count", "AMT_APPLICATION_mean", "AMT_APPLICATION_max",
+	"AMT_CREDIT_mean", "AMT_DOWN_PAYMENT_mean", "SK_ID_PREV_count",
+	"DEBT_CREDIT_RATIO", "PREV_CREDIT_RATIO", "PAYMENT_RATE", "LATE_RISK",
+}
+
+// w3Features extends w2Features with installment, POS, and credit-card
+// behavioural aggregates (Workload 3 / [25]), producing a wider artifact.
+func w3Features(w *graph.DAG, srcs map[string]*graph.Node) *graph.Node {
+	base := w2Features(w, srcs)
+
+	instAgg := w.Apply(srcs["installments_payments"], ops.GroupByAgg{Key: "SK_ID_PREV", Aggs: []data.Agg{
+		{Col: "AMT_INSTALMENT", Kind: data.AggMean},
+		{Col: "AMT_PAYMENT", Kind: data.AggMean},
+		{Col: "AMT_PAYMENT", Kind: data.AggSum},
+		{Col: "DAYS_LATE", Kind: data.AggMean},
+		{Col: "DAYS_LATE", Kind: data.AggMax},
+	}})
+	posAgg := w.Apply(srcs["POS_CASH_balance"], ops.GroupByAgg{Key: "SK_ID_PREV", Aggs: []data.Agg{
+		{Col: "CNT_INSTALMENT", Kind: data.AggMean},
+		{Col: "SK_DPD", Kind: data.AggMean},
+		{Col: "SK_DPD", Kind: data.AggMax},
+	}})
+	ccAgg := w.Apply(srcs["credit_card_balance"], ops.GroupByAgg{Key: "SK_ID_PREV", Aggs: []data.Agg{
+		{Col: "AMT_BALANCE", Kind: data.AggMean},
+		{Col: "AMT_CREDIT_LIMIT_ACTUAL", Kind: data.AggMean},
+		{Col: "AMT_DRAWINGS", Kind: data.AggSum},
+	}})
+
+	// Bring the per-previous aggregates to client level through the
+	// previous_application bridge.
+	bridge := w.Apply(srcs["previous_application"], ops.Select{Cols: []string{"SK_ID_CURR", "SK_ID_PREV"}})
+	joined := w.Combine(ops.Join{Key: "SK_ID_PREV", Kind: data.Left}, bridge, instAgg)
+	joined = w.Combine(ops.Join{Key: "SK_ID_PREV", Kind: data.Left}, joined, posAgg)
+	joined = w.Combine(ops.Join{Key: "SK_ID_PREV", Kind: data.Left}, joined, ccAgg)
+	behav := w.Apply(joined, ops.GroupByAgg{Key: "SK_ID_CURR", Aggs: []data.Agg{
+		{Col: "AMT_PAYMENT_sum", Kind: data.AggMean},
+		{Col: "DAYS_LATE_mean", Kind: data.AggMean},
+		{Col: "DAYS_LATE_max", Kind: data.AggMax},
+		{Col: "SK_DPD_mean", Kind: data.AggMean},
+		{Col: "AMT_BALANCE_mean", Kind: data.AggMean},
+		{Col: "AMT_DRAWINGS_sum", Kind: data.AggSum},
+		{Col: "CNT_INSTALMENT_mean", Kind: data.AggMean},
+	}})
+	out := w.Combine(ops.Join{Key: "SK_ID_CURR", Kind: data.Left}, base, behav)
+	out = w.Apply(out, ops.FillNA{})
+	out = w.Apply(out, ops.Derive{Out: "PAYMENT_RATE", Inputs: []string{"AMT_PAYMENT_sum_mean", "AMT_CREDIT"}, Fn: ops.Ratio})
+	out = w.Apply(out, ops.Derive{Out: "LATE_RISK", Inputs: []string{"DAYS_LATE_mean_mean", "SK_DPD_mean_mean"}, Fn: ops.Sum})
+	// Wide interaction-feature expansion: each step derives one feature
+	// from a deterministic column pair, producing a long chain of
+	// increasingly wide (and heavily column-overlapping) artifacts.
+	fns := []ops.DeriveFn{ops.Ratio, ops.Product, ops.Diff, ops.Sum}
+	for k := 0; k < wideFeatureCount; k++ {
+		a := wideFeaturePool[k%len(wideFeaturePool)]
+		b := wideFeaturePool[(k*7+3)%len(wideFeaturePool)]
+		out = w.Apply(out, ops.Derive{
+			Out:    fmt.Sprintf("FE_%03d", k),
+			Inputs: []string{a, b},
+			Fn:     fns[k%len(fns)],
+		})
+	}
+	return out
+}
+
+// Workload3 models [25]: Workload 2 plus behavioural features.
+func Workload3(s *Sources) *graph.DAG {
+	w := graph.NewDAG()
+	srcs := s.AddTo(w)
+	feat := w3Features(w, srcs)
+	trainable := dropIDs(w, feat)
+	trainable = w.Apply(trainable, ops.SelectKBest{K: 40, Label: "TARGET"})
+	gbt := w.Apply(trainable, &ops.Train{Spec: gbtSpec(12, 3, 0.1, 31), Label: "TARGET"})
+	w.Combine(ops.Evaluate{Label: "TARGET", Metric: ops.AUC}, gbt, trainable)
+	return w
+}
+
+// Workload4 models [32]: Workload 1's features with a differently tuned
+// GBT.
+func Workload4(s *Sources) *graph.DAG {
+	w := graph.NewDAG()
+	srcs := s.AddTo(w)
+	trainable := dropIDs(w, w1Features(w, srcs["application_train"]))
+	gbt := w.Apply(trainable, &ops.Train{Spec: gbtSpec(8, 3, 0.1, 41), Label: "TARGET"})
+	w.Combine(ops.Evaluate{Label: "TARGET", Metric: ops.AUC}, gbt, trainable)
+	return w
+}
+
+// Workload5 models [36]: random/grid search for GBT hyperparameters over
+// Workload 1's features.
+func Workload5(s *Sources) *graph.DAG {
+	w := graph.NewDAG()
+	srcs := s.AddTo(w)
+	trainable := dropIDs(w, w1Features(w, srcs["application_train"]))
+	grid := []struct {
+		nTrees, depth int
+		lr            float64
+	}{
+		{4, 2, 0.1}, {4, 3, 0.1}, {6, 2, 0.1},
+		{6, 3, 0.05}, {8, 3, 0.1}, {8, 4, 0.05},
+	}
+	for i, g := range grid {
+		gbt := w.Apply(trainable, &ops.Train{Spec: gbtSpec(g.nTrees, g.depth, g.lr, int64(50+i)), Label: "TARGET"})
+		w.Combine(ops.Evaluate{Label: "TARGET", Metric: ops.AUC}, gbt, trainable)
+	}
+	return w
+}
+
+// Workload6 trains a GBT on Workload 2's generated features.
+func Workload6(s *Sources) *graph.DAG {
+	w := graph.NewDAG()
+	srcs := s.AddTo(w)
+	trainable := dropIDs(w, w2Features(w, srcs))
+	gbt := w.Apply(trainable, &ops.Train{Spec: gbtSpec(8, 3, 0.1, 61), Label: "TARGET"})
+	w.Combine(ops.Evaluate{Label: "TARGET", Metric: ops.AUC}, gbt, trainable)
+	return w
+}
+
+// Workload7 trains a GBT on Workload 3's generated features.
+func Workload7(s *Sources) *graph.DAG {
+	w := graph.NewDAG()
+	srcs := s.AddTo(w)
+	trainable := dropIDs(w, w3Features(w, srcs))
+	trainable = w.Apply(trainable, ops.SelectKBest{K: 40, Label: "TARGET"})
+	gbt := w.Apply(trainable, &ops.Train{Spec: gbtSpec(8, 3, 0.1, 71), Label: "TARGET"})
+	w.Combine(ops.Evaluate{Label: "TARGET", Metric: ops.AUC}, gbt, trainable)
+	return w
+}
+
+// Workload8 joins the features of Workloads 1 and 2 and trains a GBT on
+// the combined table.
+func Workload8(s *Sources) *graph.DAG {
+	w := graph.NewDAG()
+	srcs := s.AddTo(w)
+	f1 := w1Features(w, srcs["application_train"])
+	f2 := w2Features(w, srcs)
+	// Drop duplicated raw columns from the second feature set before the
+	// join so the combined table is mostly disjoint features.
+	f2small := w.Apply(f2, ops.Select{Cols: []string{
+		"SK_ID_CURR", "DEBT_CREDIT_RATIO", "PREV_CREDIT_RATIO",
+		"AMT_CREDIT_SUM_sum", "AMT_CREDIT_SUM_DEBT_sum", "SK_ID_BUREAU_count",
+		"AMT_APPLICATION_mean", "SK_ID_PREV_count",
+	}})
+	joined := w.Combine(ops.Join{Key: "SK_ID_CURR", Kind: data.Left}, f1, f2small)
+	joined = w.Apply(joined, ops.FillNA{})
+	trainable := dropIDs(w, joined)
+	gbt := w.Apply(trainable, &ops.Train{Spec: gbtSpec(8, 3, 0.1, 81), Label: "TARGET"})
+	w.Combine(ops.Evaluate{Label: "TARGET", Metric: ops.AUC}, gbt, trainable)
+	return w
+}

@@ -1,0 +1,102 @@
+package openml
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/store"
+)
+
+func TestGenerateDatasetShape(t *testing.T) {
+	f := GenerateDataset(DefaultConfig())
+	if f.NumRows() != 1000 || f.NumCols() != 21 {
+		t.Fatalf("shape %dx%d, want 1000x21", f.NumRows(), f.NumCols())
+	}
+	if !f.HasColumn("class") {
+		t.Fatal("missing class column")
+	}
+	var pos float64
+	for _, v := range f.Column("class").Floats {
+		pos += v
+	}
+	rate := pos / 1000
+	if rate < 0.2 || rate > 0.8 {
+		t.Errorf("class balance %.3f implausible", rate)
+	}
+}
+
+func TestSamplePipelinesDeterministicAndDiverse(t *testing.T) {
+	cfg := DefaultConfig()
+	a := SamplePipelines(cfg, 100, false)
+	b := SamplePipelines(cfg, 100, false)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatal("pipeline sampling not deterministic")
+		}
+	}
+	kinds := map[string]bool{}
+	for _, p := range a {
+		kinds[p.Spec.Kind] = true
+	}
+	if len(kinds) < 3 {
+		t.Errorf("pipelines not diverse: %v", kinds)
+	}
+	// Model hyperparameters come from wide pools: most pipelines are
+	// unique, while the few preprocessing variants repeat heavily.
+	seen := map[string]int{}
+	unique := 0
+	for _, p := range a {
+		key := fmt.Sprintf("%s|%v|%d", p, p.Spec.Params, p.Spec.Seed)
+		if seen[key] == 0 {
+			unique++
+		}
+		seen[key]++
+	}
+	if unique < 80 {
+		t.Errorf("only %d of 100 pipelines unique; pools too narrow", unique)
+	}
+	prefixes := map[string]bool{}
+	for _, p := range a {
+		prefixes[fmt.Sprintf("%s|%d", p.Scaler, p.K)] = true
+	}
+	if len(prefixes) > 15 {
+		t.Errorf("%d preprocessing prefixes; prefixes should repeat", len(prefixes))
+	}
+}
+
+func TestPipelineExecutesAndLearn(t *testing.T) {
+	cfg := DefaultConfig()
+	frame := GenerateDataset(cfg)
+	srv := core.NewServer(store.New(cost.Memory()), core.WithBudget(1<<30))
+	client := core.NewClient(srv)
+	pipes := SamplePipelines(cfg, 10, false)
+	for i, p := range pipes {
+		w := p.Build(frame)
+		if _, err := client.Run(w); err != nil {
+			t.Fatalf("pipeline %d (%s): %v", i, p, err)
+		}
+		if q := ModelQuality(w); q < 0.5 {
+			t.Errorf("pipeline %d (%s): quality=%.3f, want >= 0.5", i, p, q)
+		}
+	}
+}
+
+func TestRepeatedPipelineIsReused(t *testing.T) {
+	cfg := DefaultConfig()
+	frame := GenerateDataset(cfg)
+	srv := core.NewServer(store.New(cost.Memory()), core.WithBudget(1<<30))
+	client := core.NewClient(srv)
+	p := SamplePipelines(cfg, 1, false)[0]
+	if _, err := client.Run(p.Build(frame)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := client.Run(p.Build(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Reused == 0 {
+		t.Error("identical pipeline should reuse EG artifacts")
+	}
+}

@@ -1,0 +1,123 @@
+// Package synth generates the synthetic workloads of §7.4's reuse-overhead
+// experiment (Figure 9d): random workload DAGs with 500–2000 vertices whose
+// in/out-degree distributions, materialization ratio, and cost
+// distributions mimic the real Kaggle workloads of Table 1. The DAGs are
+// never executed — they exist to measure planner overhead.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/reuse"
+)
+
+// Profile captures the attribute distributions sampled per vertex; the
+// defaults follow the paper's description of the real workloads.
+type Profile struct {
+	// MinNodes and MaxNodes bound the DAG size (paper: [500, 2000]).
+	MinNodes, MaxNodes int
+	// MultiInputProb is the probability a vertex is a two-input
+	// operation (join/concat).
+	MultiInputProb float64
+	// FanoutBias skews parent selection toward recent vertices; higher
+	// values produce longer chains (real pipelines are deep).
+	FanoutBias float64
+	// MaterializedRatio is the fraction of vertices with stored content.
+	MaterializedRatio float64
+	// MeanComputeSec and MeanLoadSec parameterize the exponential cost
+	// distributions.
+	MeanComputeSec float64
+	MeanLoadSec    float64
+}
+
+// DefaultProfile mirrors the Table 1 workloads.
+func DefaultProfile() Profile {
+	return Profile{
+		MinNodes:          500,
+		MaxNodes:          2000,
+		MultiInputProb:    0.15,
+		FanoutBias:        4,
+		MaterializedRatio: 0.35,
+		MeanComputeSec:    0.8,
+		MeanLoadSec:       0.4,
+	}
+}
+
+type stubOp struct{ name string }
+
+func (o stubOp) Name() string        { return o.name }
+func (o stubOp) Hash() string        { return graph.OpHash(o.name, "") }
+func (o stubOp) OutKind() graph.Kind { return graph.DatasetKind }
+func (o stubOp) Run(_ []graph.Artifact) (graph.Artifact, error) {
+	return &graph.AggregateArtifact{}, nil
+}
+
+// Workload is one generated DAG plus the cost maps a planner consumes.
+type Workload struct {
+	DAG   *graph.DAG
+	Costs reuse.Costs
+	// Nodes is the vertex count (diagnostics).
+	Nodes int
+}
+
+// Generate builds one synthetic workload with the given seed.
+func Generate(p Profile, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	n := p.MinNodes
+	if p.MaxNodes > p.MinNodes {
+		n += rng.Intn(p.MaxNodes - p.MinNodes)
+	}
+	w := graph.NewDAG()
+	content := &graph.AggregateArtifact{}
+	nSources := 1 + rng.Intn(4)
+	pool := make([]*graph.Node, 0, n+nSources)
+	for i := 0; i < nSources; i++ {
+		pool = append(pool, w.AddSource(fmt.Sprintf("src%d-%d", seed, i), content))
+	}
+	// pickParent biases toward recently created vertices so chains form.
+	pickParent := func() *graph.Node {
+		u := rng.Float64()
+		idx := int(float64(len(pool)-1) * (1 - math.Pow(u, p.FanoutBias)))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(pool) {
+			idx = len(pool) - 1
+		}
+		return pool[idx]
+	}
+	for i := 0; w.Len() < n; i++ {
+		op := stubOp{fmt.Sprintf("op%d-%d", seed, i)}
+		if rng.Float64() < p.MultiInputProb && len(pool) >= 2 {
+			a, b := pickParent(), pickParent()
+			if a != b {
+				pool = append(pool, w.Combine(op, a, b))
+				continue
+			}
+		}
+		pool = append(pool, w.Apply(pickParent(), op))
+	}
+	inf := math.Inf(1)
+	costs := reuse.Costs{
+		Compute: make(map[string]float64, w.Len()),
+		Load:    make(map[string]float64, w.Len()),
+	}
+	for _, node := range w.Nodes() {
+		switch {
+		case node.IsSource(), node.Kind == graph.SupernodeKind:
+			costs.Compute[node.ID] = 0
+			costs.Load[node.ID] = inf
+		default:
+			costs.Compute[node.ID] = rng.ExpFloat64() * p.MeanComputeSec
+			if rng.Float64() < p.MaterializedRatio {
+				costs.Load[node.ID] = rng.ExpFloat64() * p.MeanLoadSec
+			} else {
+				costs.Load[node.ID] = inf
+			}
+		}
+	}
+	return &Workload{DAG: w, Costs: costs, Nodes: w.Len()}
+}
