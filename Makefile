@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build vet test race fmt-check bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# ci is the tier-1 gate: build, vet, formatting, plain tests, race tests.
+ci: build vet fmt-check test race

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/store"
+	"repro/internal/workloads/synth"
+)
+
+// BenchmarkExecuteSequentialVsParallel measures wall-clock of the executor
+// on wide synthetic DAGs (8 independent branches) in sequential and
+// parallel mode. The latency profile stands in for I/O-bound operators and
+// shows branch overlap even on one core; the spin profile is CPU-bound and
+// scales with physical cores.
+func BenchmarkExecuteSequentialVsParallel(b *testing.B) {
+	profiles := []struct {
+		name string
+		p    synth.WideProfile
+	}{
+		{"latency", synth.WideProfile{Branches: 8, Depth: 3, Sleep: 2 * time.Millisecond}},
+		{"cpu", synth.WideProfile{Branches: 8, Depth: 3, SpinIters: 2_000_000}},
+	}
+	for _, prof := range profiles {
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", prof.name, workers), func(b *testing.B) {
+				srv := NewServer(store.New(cost.Memory()))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w := synth.Wide(prof.p, 1)
+					if _, err := Execute(w, nil, srv, WithParallelism(workers)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

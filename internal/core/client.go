@@ -28,11 +28,15 @@ type Optimizer interface {
 // Client drives one workload through the full pipeline: local pruning,
 // server-side optimization, execution, and the EG update.
 type Client struct {
-	srv Optimizer
+	srv      Optimizer
+	execOpts []ExecOption
 }
 
-// NewClient returns a client bound to a server (local or remote).
-func NewClient(srv Optimizer) *Client { return &Client{srv: srv} }
+// NewClient returns a client bound to a server (local or remote). Optional
+// ExecOptions (e.g. WithParallelism) are applied to every Run.
+func NewClient(srv Optimizer, execOpts ...ExecOption) *Client {
+	return &Client{srv: srv, execOpts: execOpts}
+}
 
 // RunResult combines execution metrics with optimization overhead.
 type RunResult struct {
@@ -69,7 +73,7 @@ func (c *Client) Run(w *graph.DAG) (*RunResult, error) {
 	}
 
 	// Step 4: execution.
-	res, err := Execute(w, opt.Plan, c.srv)
+	res, err := Execute(w, opt.Plan, c.srv, c.execOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"container/heap"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/reuse"
 )
 
@@ -14,10 +17,18 @@ import (
 type ExecResult struct {
 	// RunTime = ComputeTime + LoadTime.
 	RunTime time.Duration
-	// ComputeTime is the measured time spent running operations.
+	// ComputeTime is the measured time spent running operations, summed
+	// over operations. It is scheduling-independent: the parallel
+	// executor reports the same value as a sequential run (modulo timer
+	// noise), which keeps the cost model and the EG updater unchanged.
 	ComputeTime time.Duration
 	// LoadTime is the modeled Cl total of artifacts loaded from EG.
 	LoadTime time.Duration
+	// WallTime is the measured end-to-end duration of Execute. Under
+	// parallel execution WallTime < ComputeTime when independent
+	// branches overlap; under sequential execution it is approximately
+	// ComputeTime plus real fetch time.
+	WallTime time.Duration
 	// Executed counts operations actually run.
 	Executed int
 	// Reused counts artifacts loaded from EG.
@@ -33,15 +44,91 @@ type ExecResult struct {
 // warmstarted on its last run.
 type trainOpReporter interface{ LastWarmstarted() bool }
 
+// ExecOption configures Execute.
+type ExecOption func(*execConfig)
+
+type execConfig struct {
+	workers int
+}
+
+// WithParallelism bounds the number of vertices executed concurrently.
+// n == 1 forces sequential execution; n < 1 selects the shared pool width
+// (parallel.Workers(), i.e. runtime.GOMAXPROCS by default).
+func WithParallelism(n int) ExecOption {
+	return func(c *execConfig) { c.workers = n }
+}
+
+// vexec is the per-vertex scheduling state of one Execute call. Each vertex
+// is run by exactly one worker, which is the only goroutine that mutates
+// the node or this record until completion is published under the
+// scheduler lock.
+type vexec struct {
+	node *graph.Node
+	// topo is the vertex position in w.TopoOrder(), the deterministic
+	// tie-break for dispatch and error selection.
+	topo int
+	// pending counts incomplete active parent edges; the vertex becomes
+	// ready at zero. Guarded by the scheduler mutex.
+	pending int
+	// children are the active vertices waiting on this one.
+	children []*vexec
+	// stop marks plan-reuse or already-computed vertices, which act as
+	// schedule sources: they never wait on parents.
+	stop bool
+
+	// Completion record, written by the owning worker, read after join.
+	reused   bool
+	executed bool
+	loadCost time.Duration
+	elapsed  time.Duration
+	err      error
+}
+
+// vexecHeap is a min-heap of ready vertices ordered by topo index, so
+// dispatch order is deterministic for a given DAG: with one worker the
+// schedule is exactly the lowest-index-first topological order, and with
+// many workers ties are broken identically across runs.
+type vexecHeap []*vexec
+
+func (h vexecHeap) Len() int           { return len(h) }
+func (h vexecHeap) Less(i, j int) bool { return h[i].topo < h[j].topo }
+func (h vexecHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *vexecHeap) Push(x any)        { *h = append(*h, x.(*vexec)) }
+func (h *vexecHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return v
+}
+
 // Execute runs the optimized DAG (Figure 2, step 4): it loads the plan's
 // reuse vertices from the store and computes everything else needed to
 // produce every terminal vertex, annotating each vertex with measured
 // compute time and size for the updater.
-func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource) (*ExecResult, error) {
+//
+// Scheduling is a dependency-counting parallel scheduler: every active
+// vertex whose active parents have all completed is dispatched to a
+// bounded worker pool, so independent DAG branches overlap and store
+// fetches (plan reuse) overlap with compute. Results are deterministic:
+// operators are pure, each node is mutated only by its owning worker,
+// aggregate metrics are summed in topological order after the join, and on
+// failure the reported error is the one whose vertex comes first in
+// topological order — exactly the error a sequential run would hit.
+func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOption) (*ExecResult, error) {
+	cfg := execConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	workers := cfg.workers
+	if workers < 1 {
+		workers = parallel.Workers()
+	}
+	start := time.Now()
 	if plan == nil {
 		plan = &reuse.Plan{Reuse: map[string]bool{}}
 	}
-	res := &ExecResult{}
 	// Active set: vertices needed to produce the terminals, stopping the
 	// upward traversal at loaded or already-computed vertices.
 	active := make(map[string]bool)
@@ -59,74 +146,214 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource) (*ExecResult, e
 		stack = append(stack, n.Parents...)
 	}
 
-	for _, n := range w.TopoOrder() {
+	order := w.TopoOrder()
+	states := make(map[string]*vexec, len(active))
+	var topoStates []*vexec // active vertices in topo order
+	for i, n := range order {
 		if !active[n.ID] {
-			res.Skipped++
 			continue
 		}
+		s := &vexec{node: n, topo: i}
+		s.stop = plan.Reuse[n.ID] || (n.Computed && n.Content != nil)
+		states[n.ID] = s
+		topoStates = append(topoStates, s)
+	}
+	// Dependency edges among active vertices. Stop vertices are schedule
+	// sources — their parents (when active via another path) are not
+	// awaited, which lets a store fetch start immediately and overlap
+	// with upstream compute.
+	for _, s := range topoStates {
+		if s.stop {
+			continue
+		}
+		for _, p := range s.node.Parents {
+			ps := states[p.ID]
+			if ps == nil {
+				continue
+			}
+			s.pending++
+			ps.children = append(ps.children, s)
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		ready    vexecHeap
+		inflight int
+		errTopo  = -1 // lowest topo index of a failed vertex, -1 if none
+	)
+	for _, s := range topoStates {
+		if s.pending == 0 {
+			ready = append(ready, s)
+		}
+	}
+	heap.Init(&ready)
+
+	worker := func() {
+		for {
+			mu.Lock()
+			// Once a vertex at topo index k failed, only vertices
+			// with smaller indices still matter: they are the only
+			// ones that could carry the deterministic "first in
+			// topo order" error (ancestors always precede their
+			// descendants). Drop the rest unrun.
+			for errTopo >= 0 && len(ready) > 0 && ready[0].topo > errTopo {
+				heap.Pop(&ready)
+			}
+			for len(ready) == 0 && inflight > 0 {
+				cond.Wait()
+				for errTopo >= 0 && len(ready) > 0 && ready[0].topo > errTopo {
+					heap.Pop(&ready)
+				}
+			}
+			if len(ready) == 0 {
+				mu.Unlock()
+				return
+			}
+			s := heap.Pop(&ready).(*vexec)
+			inflight++
+			mu.Unlock()
+
+			err := runVertex(s, src)
+
+			mu.Lock()
+			inflight--
+			if err != nil {
+				s.err = err
+				if errTopo < 0 || s.topo < errTopo {
+					errTopo = s.topo
+				}
+			} else {
+				for _, c := range s.children {
+					c.pending--
+					if c.pending == 0 {
+						heap.Push(&ready, c)
+					}
+				}
+			}
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+
+	if errTopo >= 0 {
+		for _, s := range topoStates {
+			if s.err != nil {
+				return nil, s.err
+			}
+		}
+	}
+
+	// Aggregate metrics in topological order so sums of durations are
+	// accumulated deterministically regardless of completion order.
+	res := &ExecResult{Skipped: len(order) - len(topoStates)}
+	for _, s := range topoStates {
 		switch {
-		case n.Computed && n.Content != nil:
-			// already on the client (source or prior cell)
-		case plan.Reuse[n.ID]:
-			content := src.Fetch(n.ID)
-			if content == nil {
-				return nil, fmt.Errorf("core: plan reuses %s (%s) but store has no content", n.ID, n.Name)
-			}
-			n.Content = content
-			n.SizeBytes = content.SizeBytes()
-			n.LoadedFromEG = true
-			if ma, ok := content.(*graph.ModelArtifact); ok {
-				n.Quality = ma.Quality
-			}
-			res.LoadTime += src.LoadCostOf(n.SizeBytes)
+		case s.reused:
 			res.Reused++
-		case n.Kind == graph.SupernodeKind:
-			// Supernodes carry no data and no computation.
-		default:
-			if n.Op == nil {
-				return nil, fmt.Errorf("core: vertex %s (%s) has no operation and no content", n.ID, n.Name)
-			}
-			inputs, err := gatherInputs(n)
-			if err != nil {
-				return nil, err
-			}
-			start := time.Now()
-			content, err := n.Op.Run(inputs)
-			elapsed := time.Since(start)
-			if err != nil {
-				return nil, fmt.Errorf("core: executing %s: %w", n.Name, err)
-			}
-			n.Content = content
-			n.ComputeTime = elapsed
-			n.SizeBytes = content.SizeBytes()
-			if ma, ok := content.(*graph.ModelArtifact); ok {
-				n.Quality = ma.Quality
-			}
-			if rep, ok := n.Op.(trainOpReporter); ok && rep.LastWarmstarted() {
-				n.Warmstarted = true
+			res.LoadTime += s.loadCost
+		case s.executed:
+			res.Executed++
+			res.ComputeTime += s.elapsed
+			if s.node.Warmstarted {
 				res.Warmstarted++
 			}
-			res.ComputeTime += elapsed
-			res.Executed++
 		}
 	}
 	res.RunTime = res.ComputeTime + res.LoadTime
+	res.WallTime = time.Since(start)
 	return res, nil
 }
 
-// gatherInputs collects the parent artifacts of n, flattening supernodes
-// into their own parents' contents.
-func gatherInputs(n *graph.Node) ([]graph.Artifact, error) {
-	parents := n.Parents
-	if len(parents) == 1 && parents[0].Kind == graph.SupernodeKind {
-		parents = parents[0].Parents
-	}
-	inputs := make([]graph.Artifact, len(parents))
-	for i, p := range parents {
-		if p.Content == nil {
-			return nil, fmt.Errorf("core: input %s of %s has no content", p.Name, n.Name)
+// runVertex performs the work of one active vertex. It is called by
+// exactly one worker per vertex; the node and the vexec completion fields
+// are owned by that worker until it publishes under the scheduler lock.
+func runVertex(s *vexec, src ArtifactSource) error {
+	n := s.node
+	switch {
+	case n.Computed && n.Content != nil:
+		// already on the client (source or prior cell)
+	case s.stop:
+		// plan-reuse vertex: fetch from the store
+		content := src.Fetch(n.ID)
+		if content == nil {
+			return fmt.Errorf("core: plan reuses %s (%s) but store has no content", n.ID, n.Name)
 		}
-		inputs[i] = p.Content
+		n.Content = content
+		n.SizeBytes = content.SizeBytes()
+		n.LoadedFromEG = true
+		if ma, ok := content.(*graph.ModelArtifact); ok {
+			n.Quality = ma.Quality
+		}
+		s.loadCost = src.LoadCostOf(n.SizeBytes)
+		s.reused = true
+	case n.Kind == graph.SupernodeKind:
+		// Supernodes carry no data and no computation.
+	default:
+		if n.Op == nil {
+			return fmt.Errorf("core: vertex %s (%s) has no operation and no content", n.ID, n.Name)
+		}
+		inputs, err := gatherInputs(n)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		content, err := n.Op.Run(inputs)
+		elapsed := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("core: executing %s: %w", n.Name, err)
+		}
+		n.Content = content
+		n.ComputeTime = elapsed
+		n.SizeBytes = content.SizeBytes()
+		if ma, ok := content.(*graph.ModelArtifact); ok {
+			n.Quality = ma.Quality
+		}
+		if rep, ok := n.Op.(trainOpReporter); ok && rep.LastWarmstarted() {
+			n.Warmstarted = true
+		}
+		s.elapsed = elapsed
+		s.executed = true
+	}
+	return nil
+}
+
+// gatherInputs collects the parent artifacts of n in parent order,
+// flattening each supernode parent into its own parents' contents —
+// supernodes may appear alone or mixed among ordinary parents (e.g. in
+// DAGs reconstructed from wire metadata).
+func gatherInputs(n *graph.Node) ([]graph.Artifact, error) {
+	inputs := make([]graph.Artifact, 0, len(n.Parents))
+	appendContent := func(p *graph.Node) error {
+		if p.Content == nil {
+			return fmt.Errorf("core: input %s of %s has no content", p.Name, n.Name)
+		}
+		inputs = append(inputs, p.Content)
+		return nil
+	}
+	for _, p := range n.Parents {
+		if p.Kind == graph.SupernodeKind {
+			for _, gp := range p.Parents {
+				if err := appendContent(gp); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err := appendContent(p); err != nil {
+			return nil, err
+		}
 	}
 	return inputs, nil
 }

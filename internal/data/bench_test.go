@@ -4,7 +4,56 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"repro/internal/parallel"
 )
+
+// benchWorkers runs the benchmark body under pool widths 1 (sequential)
+// and 4, restoring the global width afterwards.
+func benchWorkers(b *testing.B, body func(b *testing.B)) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(prev)
+			body(b)
+		})
+	}
+}
+
+func BenchmarkJoinParallel(b *testing.B) {
+	left := benchFrame(200000, 1)
+	right := benchFrame(100000, 2)
+	benchWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := left.Join(right, "id", Left, "op"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGroupByParallel(b *testing.B) {
+	f := benchFrame(200000, 3)
+	aggs := []Agg{{Col: "v", Kind: AggMean}, {Col: "v", Kind: AggSum}, {Col: "v", Kind: AggMax}}
+	benchWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.GroupBy("id", aggs, "op"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkOneHotParallel(b *testing.B) {
+	f := benchFrame(200000, 4)
+	benchWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.OneHot("cat", "op"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 func benchFrame(rows int, seed int64) *Frame {
 	rng := rand.New(rand.NewSource(seed))

@@ -4,7 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/parallel"
 )
+
+// rowGrain is the chunk size of parallel row scans: large enough that a
+// chunk amortizes scheduling, small enough to balance skewed work.
+const rowGrain = 2048
 
 // FilterFloat returns the rows of f where pred(column value) is true. Row
 // selection affects every column, so all output columns get IDs derived
@@ -163,19 +169,27 @@ func (f *Frame) OneHot(col string, opHash string) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, cat := range sorted {
-		vals := make([]float64, c.Len())
-		for i, s := range c.Strings {
-			if s == cat {
-				vals[i] = 1
+	// Each category's indicator column is independent: build them on the
+	// shared pool, then append sequentially in sorted-category order.
+	indicators := make([]*Column, len(sorted))
+	parallel.For(len(sorted), 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			cat := sorted[k]
+			vals := make([]float64, c.Len())
+			for i, s := range c.Strings {
+				if s == cat {
+					vals[i] = 1
+				}
+			}
+			indicators[k] = &Column{
+				ID:     DeriveID(opHash+"\x01"+cat, c.ID),
+				Name:   col + "=" + cat,
+				Type:   Float64,
+				Floats: vals,
 			}
 		}
-		nc := &Column{
-			ID:     DeriveID(opHash+"\x01"+cat, c.ID),
-			Name:   col + "=" + cat,
-			Type:   Float64,
-			Floats: vals,
-		}
+	})
+	for _, nc := range indicators {
 		if out, err = out.WithColumn(nc); err != nil {
 			return nil, err
 		}
@@ -206,40 +220,76 @@ func (f *Frame) Join(right *Frame, key string, kind JoinKind, opHash string) (*F
 		return nil, fmt.Errorf("data: join: key %q missing (left=%v right=%v)", key, lk != nil, rk != nil)
 	}
 	// Build hash index over the right side, keyed by the string rendering
-	// so int/float keys compare consistently.
+	// so int/float keys compare consistently. Key rendering is the
+	// expensive part (per-cell formatting), so it runs chunked on the
+	// shared pool; the map build stays sequential.
+	rkeys := renderKeys(rk)
 	index := make(map[string][]int, right.NumRows())
-	for i := 0; i < rk.Len(); i++ {
-		k := rk.StringAt(i)
+	for i, k := range rkeys {
 		index[k] = append(index[k], i)
 	}
-	var lidx, ridx []int
-	for i := 0; i < lk.Len(); i++ {
-		matches := index[lk.StringAt(i)]
-		if len(matches) == 0 {
-			if kind == Left {
-				lidx = append(lidx, i)
-				ridx = append(ridx, -1)
+	// Probe in row chunks with per-chunk match buffers; concatenating the
+	// chunks in order reproduces the sequential row order exactly.
+	nL := lk.Len()
+	nparts := (nL + rowGrain - 1) / rowGrain
+	type matches struct{ l, r []int }
+	parts := make([]matches, nparts)
+	parallel.For(nL, rowGrain, func(lo, hi int) {
+		var m matches
+		for i := lo; i < hi; i++ {
+			hit := index[lk.StringAt(i)]
+			if len(hit) == 0 {
+				if kind == Left {
+					m.l = append(m.l, i)
+					m.r = append(m.r, -1)
+				}
+				continue
 			}
-			continue
+			for _, j := range hit {
+				m.l = append(m.l, i)
+				m.r = append(m.r, j)
+			}
 		}
-		for _, j := range matches {
-			lidx = append(lidx, i)
-			ridx = append(ridx, j)
-		}
+		parts[lo/rowGrain] = m
+	})
+	total := 0
+	for _, m := range parts {
+		total += len(m.l)
 	}
-	out := &Frame{byName: make(map[string]int, f.NumCols()+right.NumCols())}
+	lidx := make([]int, 0, total)
+	ridx := make([]int, 0, total)
+	for _, m := range parts {
+		lidx = append(lidx, m.l...)
+		ridx = append(ridx, m.r...)
+	}
+	// Materialize the output columns in parallel (each gather is an
+	// independent O(rows) copy), then attach sequentially so collision
+	// renaming stays order-dependent and deterministic.
+	type gatherJob struct {
+		src   *Column
+		id    string
+		idx   []int
+		right bool
+	}
+	jobs := make([]gatherJob, 0, f.NumCols()+right.NumCols())
 	for _, c := range f.cols {
-		nc := c.Gather(lidx, DeriveID(opHash+"\x01L", c.ID))
-		if err := out.add(nc); err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, gatherJob{c, DeriveID(opHash+"\x01L", c.ID), lidx, false})
 	}
 	for _, c := range right.cols {
 		if c.Name == key {
 			continue
 		}
-		nc := c.Gather(ridx, DeriveID(opHash+"\x01R", c.ID))
-		if out.HasColumn(nc.Name) {
+		jobs = append(jobs, gatherJob{c, DeriveID(opHash+"\x01R", c.ID), ridx, true})
+	}
+	gathered := make([]*Column, len(jobs))
+	parallel.For(len(jobs), 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			gathered[k] = jobs[k].src.Gather(jobs[k].idx, jobs[k].id)
+		}
+	})
+	out := &Frame{byName: make(map[string]int, len(jobs))}
+	for k, nc := range gathered {
+		if jobs[k].right && out.HasColumn(nc.Name) {
 			nc.Name += "_r"
 		}
 		if err := out.add(nc); err != nil {
@@ -247,6 +297,18 @@ func (f *Frame) Join(right *Frame, key string, kind JoinKind, opHash string) (*F
 		}
 	}
 	return out, nil
+}
+
+// renderKeys renders every cell of a key column to its string form, chunked
+// over the shared pool.
+func renderKeys(c *Column) []string {
+	keys := make([]string, c.Len())
+	parallel.For(c.Len(), rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys[i] = c.StringAt(i)
+		}
+	})
+	return keys
 }
 
 // ConcatColumns appends the columns of others to f. Row counts must match;
@@ -325,10 +387,10 @@ func (f *Frame) GroupBy(key string, aggs []Agg, opHash string) (*Frame, error) {
 	if kc == nil {
 		return nil, fmt.Errorf("data: groupby: no column %q", key)
 	}
+	keys := renderKeys(kc)
 	groups := make(map[string][]int)
 	order := make([]string, 0)
-	for i := 0; i < kc.Len(); i++ {
-		k := kc.StringAt(i)
+	for i, k := range keys {
 		if _, seen := groups[k]; !seen {
 			order = append(order, k)
 		}
@@ -347,9 +409,14 @@ func (f *Frame) GroupBy(key string, aggs []Agg, opHash string) (*Frame, error) {
 			return nil, fmt.Errorf("data: groupby: no column %q", a.Col)
 		}
 		vals := make([]float64, len(order))
-		for gi, k := range order {
-			vals[gi] = aggregate(c, groups[k], a.Kind)
-		}
+		// Groups are independent; the map is read-only here, and each
+		// chunk writes a disjoint slice range, so the result matches
+		// the sequential loop exactly.
+		parallel.For(len(order), 256, func(lo, hi int) {
+			for gi := lo; gi < hi; gi++ {
+				vals[gi] = aggregate(c, groups[order[gi]], a.Kind)
+			}
+		})
 		name := a.Col + "_" + a.Kind.String()
 		nc := &Column{
 			ID:     DeriveID(opHash+"\x01"+name, c.ID),

@@ -1,0 +1,73 @@
+package data
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// atWidth runs fn under the given pool width, restoring the width after.
+func atWidth(workers int, fn func() *Frame) *Frame {
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	return fn()
+}
+
+func framesEqual(t *testing.T, a, b *Frame) {
+	t.Helper()
+	if a.NumCols() != b.NumCols() || a.NumRows() != b.NumRows() {
+		t.Fatalf("shape differs: %dx%d vs %dx%d", a.NumRows(), a.NumCols(), b.NumRows(), b.NumCols())
+	}
+	ac, bc := a.Columns(), b.Columns()
+	for i := range ac {
+		if ac[i].Name != bc[i].Name || ac[i].ID != bc[i].ID || ac[i].Type != bc[i].Type {
+			t.Fatalf("column %d meta differs: %+v vs %+v", i, ac[i], bc[i])
+		}
+		for r := 0; r < ac[i].Len(); r++ {
+			av, bv := ac[i].StringAt(r), bc[i].StringAt(r)
+			if av != bv {
+				t.Fatalf("column %s row %d differs: %q vs %q", ac[i].Name, r, av, bv)
+			}
+		}
+	}
+}
+
+// TestKernelsDeterministicAcrossPoolWidths requires the parallelized
+// join/groupby/one-hot kernels to produce identical frames — values, column
+// order, names, and lineage IDs — at pool width 1 and 8.
+func TestKernelsDeterministicAcrossPoolWidths(t *testing.T) {
+	left := benchFrame(9000, 21)
+	right := benchFrame(4500, 22)
+	aggs := []Agg{{Col: "v", Kind: AggMean}, {Col: "v", Kind: AggSum}, {Col: "v", Kind: AggCount}}
+
+	t.Run("join", func(t *testing.T) {
+		mk := func() *Frame {
+			out, err := left.Join(right, "id", Left, "op")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		framesEqual(t, atWidth(1, mk), atWidth(8, mk))
+	})
+	t.Run("groupby", func(t *testing.T) {
+		mk := func() *Frame {
+			out, err := left.GroupBy("id", aggs, "op")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		framesEqual(t, atWidth(1, mk), atWidth(8, mk))
+	})
+	t.Run("onehot", func(t *testing.T) {
+		mk := func() *Frame {
+			out, err := left.OneHot("cat", "op")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		framesEqual(t, atWidth(1, mk), atWidth(8, mk))
+	})
+}

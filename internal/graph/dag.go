@@ -130,25 +130,9 @@ func (g *DAG) TopoOrder(terminals ...*Node) []*Node {
 	}
 	// Kahn's algorithm over the needed subgraph, seeded in insertion
 	// order for determinism.
-	indeg := make(map[string]int)
-	children := make(map[string][]*Node)
-	for _, n := range g.order {
-		if !need[n.ID] {
-			continue
-		}
-		for _, p := range n.Parents {
-			if need[p.ID] {
-				indeg[n.ID]++
-				children[p.ID] = append(children[p.ID], n)
-			}
-		}
-	}
-	var queue, out []*Node
-	for _, n := range g.order {
-		if need[n.ID] && indeg[n.ID] == 0 {
-			queue = append(queue, n)
-		}
-	}
+	indeg, children := g.Indegrees(need)
+	var out []*Node
+	queue := g.Ready(need, indeg)
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
@@ -163,6 +147,47 @@ func (g *DAG) TopoOrder(terminals ...*Node) []*Node {
 	if len(out) != len(need) {
 		// A cycle would be a construction bug; fail loudly.
 		panic(fmt.Sprintf("graph: cycle detected: ordered %d of %d vertices", len(out), len(need)))
+	}
+	return out
+}
+
+// Indegrees computes, for the sub-DAG induced by the need set (the whole
+// DAG when need is nil), each vertex's count of in-subgraph parent edges
+// and the child adjacency, both keyed by vertex ID. A parent listed twice
+// contributes two edges, mirroring the decrements a scheduler performs.
+// Schedulers (TopoOrder, the parallel executor) consume this as the
+// dependency-counting state.
+func (g *DAG) Indegrees(need map[string]bool) (indeg map[string]int, children map[string][]*Node) {
+	indeg = make(map[string]int)
+	children = make(map[string][]*Node)
+	for _, n := range g.order {
+		if need != nil && !need[n.ID] {
+			continue
+		}
+		for _, p := range n.Parents {
+			if need != nil && !need[p.ID] {
+				continue
+			}
+			indeg[n.ID]++
+			children[p.ID] = append(children[p.ID], n)
+		}
+	}
+	return indeg, children
+}
+
+// Ready returns the vertices of the sub-DAG induced by need (the whole DAG
+// when nil) whose indegree is zero, in insertion order — the initial ready
+// set of a dependency-counting scheduler. indeg is the map produced by
+// Indegrees for the same need set.
+func (g *DAG) Ready(need map[string]bool, indeg map[string]int) []*Node {
+	var out []*Node
+	for _, n := range g.order {
+		if need != nil && !need[n.ID] {
+			continue
+		}
+		if indeg[n.ID] == 0 {
+			out = append(out, n)
+		}
 	}
 	return out
 }

@@ -3,7 +3,62 @@ package ml
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/parallel"
 )
+
+// benchWorkers runs the benchmark body under pool widths 1 (sequential)
+// and 4, restoring the global width afterwards.
+func benchWorkers(b *testing.B, body func(b *testing.B)) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(prev)
+			body(b)
+		})
+	}
+}
+
+func BenchmarkRandomForestFitParallel(b *testing.B) {
+	x, y := synthLinear(4000, 30, 7)
+	benchWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := NewRandomForest(1)
+			r.NTrees = 16
+			if err := r.Fit(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGBTFitParallel(b *testing.B) {
+	x, y := synthLinear(4000, 120, 8)
+	benchWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := NewGBT(1)
+			g.NTrees = 10
+			g.MaxDepth = 3
+			if err := g.Fit(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkKNNPredictParallel(b *testing.B) {
+	x, y := synthLinear(3000, 20, 9)
+	k := NewKNN()
+	if err := k.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	queries := x[:500]
+	benchWorkers(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k.Predict(queries)
+		}
+	})
+}
 
 func BenchmarkLogisticRegressionFit(b *testing.B) {
 	x, y := synthLinear(2000, 20, 1)

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+
+	"repro/internal/parallel"
 )
 
 // GradientBoostedTrees is a binary classifier boosting shallow regression
@@ -81,21 +83,26 @@ func (g *GradientBoostedTrees) Fit(x [][]float64, y []float64) error {
 		p := math.Min(math.Max(pos/float64(n), 1e-6), 1-1e-6)
 		g.Base = math.Log(p / (1 - p))
 	}
-	for i := range score {
-		score[i] = g.Base
-	}
-	for _, tr := range g.Trees {
-		for i, row := range x {
-			score[i] += g.LearningRate * tr.predict(row)
+	// Score rows in parallel; each row accumulates tree contributions in
+	// tree order, so the floating-point result matches a sequential pass.
+	parallel.For(n, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := g.Base
+			for _, tr := range g.Trees {
+				s += g.LearningRate * tr.predict(x[i])
+			}
+			score[i] = s
 		}
-	}
+	})
 	grad := make([]float64, n)
 	g.TreesGrown = 0
-	bins := newBinner(x) // shared across all boosting rounds
+	bins := newBinner(x) // shared (read-only) across all boosting rounds
 	for len(g.Trees) < g.NTrees {
-		for i := range grad {
-			grad[i] = y[i] - sigmoid(score[i]) // negative gradient
-		}
+		parallel.For(n, 1024, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				grad[i] = y[i] - sigmoid(score[i]) // negative gradient
+			}
+		})
 		idx := g.sampleRows(rng, n)
 		t := &DecisionTree{
 			MaxDepth:       g.MaxDepth,
@@ -108,9 +115,11 @@ func (g *GradientBoostedTrees) Fit(x [][]float64, y []float64) error {
 		root := t.build(grad, idx, 0)
 		g.Trees = append(g.Trees, root)
 		g.TreesGrown++
-		for i, row := range x {
-			score[i] += g.LearningRate * root.predict(row)
-		}
+		parallel.For(n, 256, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				score[i] += g.LearningRate * root.predict(x[i])
+			}
+		})
 	}
 	return nil
 }
@@ -137,13 +146,15 @@ func (g *GradientBoostedTrees) sampleRows(rng *rand.Rand, n int) []int {
 // Predict implements Model, returning P(y=1).
 func (g *GradientBoostedTrees) Predict(x [][]float64) []float64 {
 	out := make([]float64, len(x))
-	for i, row := range x {
-		s := g.Base
-		for _, tr := range g.Trees {
-			s += g.LearningRate * tr.predict(row)
+	parallel.For(len(x), 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := g.Base
+			for _, tr := range g.Trees {
+				s += g.LearningRate * tr.predict(x[i])
+			}
+			out[i] = sigmoid(s)
 		}
-		out[i] = sigmoid(s)
-	}
+	})
 	return out
 }
 
@@ -203,27 +214,47 @@ func (r *RandomForest) Fit(x [][]float64, y []float64) error {
 	}
 	rng := rand.New(rand.NewSource(r.Seed))
 	n := len(x)
-	r.Trees = make([]*DecisionTree, 0, r.NTrees)
-	bx := make([][]float64, n)
-	by := make([]float64, n)
-	for k := 0; k < r.NTrees; k++ {
-		for i := 0; i < n; i++ {
-			j := rng.Intn(n)
-			bx[i] = x[j]
-			by[i] = y[j]
+	// Draw every bootstrap sample and tree seed up front, consuming the
+	// rng stream in the exact per-tree order of a sequential fit; the
+	// trees then fit independently on the shared pool, and the forest is
+	// bit-identical for a fixed Seed at any pool width.
+	boots := make([][]int, r.NTrees)
+	seeds := make([]int64, r.NTrees)
+	for k := range boots {
+		bi := make([]int, n)
+		for i := range bi {
+			bi[i] = rng.Intn(n)
 		}
-		t := &DecisionTree{
-			MaxDepth:       r.MaxDepth,
-			MinSamplesLeaf: 2,
-			MaxFeatures:    mf,
-			Classification: true,
-			Seed:           rng.Int63(),
+		boots[k] = bi
+		seeds[k] = rng.Int63()
+	}
+	trees := make([]*DecisionTree, r.NTrees)
+	errs := make([]error, r.NTrees)
+	parallel.For(r.NTrees, 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			bx := make([][]float64, n)
+			by := make([]float64, n)
+			for i, j := range boots[k] {
+				bx[i] = x[j]
+				by[i] = y[j]
+			}
+			t := &DecisionTree{
+				MaxDepth:       r.MaxDepth,
+				MinSamplesLeaf: 2,
+				MaxFeatures:    mf,
+				Classification: true,
+				Seed:           seeds[k],
+			}
+			errs[k] = t.Fit(bx, by)
+			trees[k] = t
 		}
-		if err := t.Fit(bx, by); err != nil {
+	})
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
-		r.Trees = append(r.Trees, t)
 	}
+	r.Trees = trees
 	return nil
 }
 
@@ -233,15 +264,19 @@ func (r *RandomForest) Predict(x [][]float64) []float64 {
 	if len(r.Trees) == 0 {
 		return out
 	}
-	for _, t := range r.Trees {
-		p := t.Predict(x)
-		for i, v := range p {
-			out[i] += v
+	// Per-row vote, accumulated in tree order so the floating-point sum
+	// matches the sequential tree-major loop exactly.
+	parallel.For(len(x), 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for _, t := range r.Trees {
+				if t.Root != nil {
+					s += t.Root.predict(x[i])
+				}
+			}
+			out[i] = s / float64(len(r.Trees))
 		}
-	}
-	for i := range out {
-		out[i] /= float64(len(r.Trees))
-	}
+	})
 	return out
 }
 
@@ -290,36 +325,41 @@ func (k *KNN) Fit(x [][]float64, y []float64) error {
 func (k *KNN) Predict(x [][]float64) []float64 {
 	out := make([]float64, len(x))
 	type nb struct{ d, y float64 }
-	for i, q := range x {
-		best := make([]nb, 0, k.K+1)
-		for j, row := range k.TrainX {
-			var d float64
-			for c := range q {
-				dd := q[c] - row[c]
-				d += dd * dd
-			}
-			// insertion into a small sorted buffer
-			pos := len(best)
-			for pos > 0 && best[pos-1].d > d {
-				pos--
-			}
-			if pos < k.K {
-				best = append(best, nb{})
-				copy(best[pos+1:], best[pos:])
-				best[pos] = nb{d, k.TrainY[j]}
-				if len(best) > k.K {
-					best = best[:k.K]
+	// The distance scan is the hot loop: queries are independent and the
+	// training set is read-only, so rows fan out over the shared pool.
+	parallel.For(len(x), 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q := x[i]
+			best := make([]nb, 0, k.K+1)
+			for j, row := range k.TrainX {
+				var d float64
+				for c := range q {
+					dd := q[c] - row[c]
+					d += dd * dd
+				}
+				// insertion into a small sorted buffer
+				pos := len(best)
+				for pos > 0 && best[pos-1].d > d {
+					pos--
+				}
+				if pos < k.K {
+					best = append(best, nb{})
+					copy(best[pos+1:], best[pos:])
+					best[pos] = nb{d, k.TrainY[j]}
+					if len(best) > k.K {
+						best = best[:k.K]
+					}
 				}
 			}
+			var s float64
+			for _, b := range best {
+				s += b.y
+			}
+			if len(best) > 0 {
+				out[i] = s / float64(len(best))
+			}
 		}
-		var s float64
-		for _, b := range best {
-			s += b.y
-		}
-		if len(best) > 0 {
-			out[i] = s / float64(len(best))
-		}
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,55 @@
+package ml
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// fitPredictAt fits the given fresh model under the given pool width and
+// returns its predictions on the training matrix.
+func fitPredictAt(t *testing.T, workers int, mk func() Model, x [][]float64, y []float64) []float64 {
+	t.Helper()
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	m := mk()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	return m.Predict(x)
+}
+
+// TestEnsemblesDeterministicAcrossPoolWidths requires that the parallelized
+// tree/forest/GBT/k-NN kernels produce bit-identical models and predictions
+// at pool width 1 and 8 for a fixed seed.
+func TestEnsemblesDeterministicAcrossPoolWidths(t *testing.T) {
+	x, y := synthLinear(1500, 25, 11)
+	cases := []struct {
+		name string
+		mk   func() Model
+	}{
+		{"tree", func() Model { return NewDecisionTree(3) }},
+		{"rf", func() Model {
+			r := NewRandomForest(3)
+			r.NTrees = 8
+			return r
+		}},
+		{"gbt", func() Model {
+			g := NewGBT(3)
+			g.NTrees = 8
+			return g
+		}},
+		{"knn", func() Model { return NewKNN() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := fitPredictAt(t, 1, tc.mk, x, y)
+			par := fitPredictAt(t, 8, tc.mk, x, y)
+			for i := range seq {
+				if seq[i] != par[i] {
+					t.Fatalf("prediction %d differs across pool widths: %v vs %v", i, seq[i], par[i])
+				}
+			}
+		})
+	}
+}

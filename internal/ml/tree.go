@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // TreeNode is one node of a binary regression/classification tree. Leaves
@@ -63,30 +65,39 @@ func newBinner(x [][]float64) *binner {
 	if n > sampleCap {
 		stride = n / sampleCap
 	}
-	vals := make([]float64, 0, sampleCap+1)
-	for f := 0; f < d; f++ {
-		vals = vals[:0]
-		for i := 0; i < n; i += stride {
-			vals = append(vals, x[i][f])
-		}
-		sort.Float64s(vals)
-		var edges []float64
-		for k := 1; k < maxBins; k++ {
-			e := vals[k*len(vals)/maxBins]
-			if len(edges) == 0 || e > edges[len(edges)-1] {
-				edges = append(edges, e)
+	// Per-feature quantile edges are independent; each chunk carries its
+	// own sample buffer.
+	parallel.For(d, 8, func(lo, hi int) {
+		vals := make([]float64, 0, sampleCap+1)
+		for f := lo; f < hi; f++ {
+			vals = vals[:0]
+			for i := 0; i < n; i += stride {
+				vals = append(vals, x[i][f])
 			}
+			sort.Float64s(vals)
+			var edges []float64
+			for k := 1; k < maxBins; k++ {
+				e := vals[k*len(vals)/maxBins]
+				if len(edges) == 0 || e > edges[len(edges)-1] {
+					edges = append(edges, e)
+				}
+			}
+			b.edges[f] = edges
 		}
-		b.edges[f] = edges
-	}
+	})
+	// Row binning writes disjoint rows of one flat backing array.
 	flat := make([]uint8, n*d)
 	b.idx = make([][]uint8, n)
-	for i, row := range x {
-		b.idx[i], flat = flat[:d], flat[d:]
-		for f := 0; f < d; f++ {
-			b.idx[i][f] = binOf(b.edges[f], row[f])
+	parallel.For(n, 1024, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			bi := flat[i*d : (i+1)*d : (i+1)*d]
+			row := x[i]
+			for f := 0; f < d; f++ {
+				bi[f] = binOf(b.edges[f], row[f])
+			}
+			b.idx[i] = bi
 		}
-	}
+	})
 	return b
 }
 
@@ -202,8 +213,68 @@ func (t *DecisionTree) build(y []float64, idx []int, depth int) *TreeNode {
 	return node
 }
 
-// bestSplit accumulates per-bin label statistics in one pass per feature
-// and scans bin boundaries for the impurity-minimizing split.
+// parallelSplitWork is the minimum rows×features product at which a split
+// search fans out over the shared pool; smaller nodes keep the sequential
+// reusable-scratch path.
+const parallelSplitWork = 1 << 15
+
+// featSplit is one feature's best split candidate.
+type featSplit struct {
+	score float64
+	bin   uint8
+	thr   float64
+	ok    bool
+}
+
+// scanFeature accumulates per-bin label statistics for feature f in one
+// pass and scans bin boundaries for the impurity-minimizing split. hist is
+// caller-provided scratch of length >= maxBins.
+func scanFeature(bins *binner, f int, y []float64, idx []int, ts, ts2, n float64, classification bool, hist []binStats) featSplit {
+	edges := bins.edges[f]
+	if len(edges) == 0 {
+		return featSplit{} // constant feature
+	}
+	h := hist[:len(edges)+1]
+	for k := range h {
+		h[k] = binStats{}
+	}
+	for _, i := range idx {
+		b := bins.idx[i][f]
+		yi := y[i]
+		h[b].cnt++
+		h[b].sum += yi
+		h[b].sum2 += yi * yi
+	}
+	best := featSplit{score: math.Inf(1)}
+	var ln, ls, ls2 float64
+	for b := 0; b < len(edges); b++ {
+		ln += h[b].cnt
+		ls += h[b].sum
+		ls2 += h[b].sum2
+		rn := n - ln
+		if ln == 0 || rn == 0 {
+			continue
+		}
+		rs := ts - ls
+		var score float64
+		if classification {
+			score = 2*(ls-ls*ls/ln) + 2*(rs-rs*rs/rn)
+		} else {
+			rs2 := ts2 - ls2
+			score = (ls2 - ls*ls/ln) + (rs2 - rs*rs/rn)
+		}
+		if score < best.score {
+			best = featSplit{score: score, bin: uint8(b), thr: edges[b], ok: true}
+		}
+	}
+	return best
+}
+
+// bestSplit finds the impurity-minimizing (feature, bin) split. Candidate
+// features are scanned independently — in parallel on the shared pool when
+// the node is large enough — and reduced in feats order with strict
+// comparison, so the winner (including tie-breaks) is identical to a
+// sequential scan.
 func (t *DecisionTree) bestSplit(y []float64, idx []int) (feat int, bin uint8, thr float64, ok bool) {
 	d := len(t.bins.edges)
 	feats := make([]int, d)
@@ -214,56 +285,37 @@ func (t *DecisionTree) bestSplit(y []float64, idx []int) (feat int, bin uint8, t
 		t.rng.Shuffle(d, func(a, b int) { feats[a], feats[b] = feats[b], feats[a] })
 		feats = feats[:t.MaxFeatures]
 	}
-	if t.hist == nil {
-		t.hist = make([]binStats, maxBins)
-	}
 	var ts, ts2 float64
 	for _, i := range idx {
 		ts += y[i]
 		ts2 += y[i] * y[i]
 	}
 	n := float64(len(idx))
+
+	results := make([]featSplit, len(feats))
+	if len(idx)*len(feats) >= parallelSplitWork && parallel.Workers() > 1 {
+		parallel.For(len(feats), 4, func(lo, hi int) {
+			hist := make([]binStats, maxBins)
+			for k := lo; k < hi; k++ {
+				results[k] = scanFeature(t.bins, feats[k], y, idx, ts, ts2, n, t.Classification, hist)
+			}
+		})
+	} else {
+		if t.hist == nil {
+			t.hist = make([]binStats, maxBins)
+		}
+		for k, f := range feats {
+			results[k] = scanFeature(t.bins, f, y, idx, ts, ts2, n, t.Classification, t.hist)
+		}
+	}
 	bestScore := math.Inf(1)
 	feat = -1
-	for _, f := range feats {
-		edges := t.bins.edges[f]
-		if len(edges) == 0 {
-			continue // constant feature
-		}
-		h := t.hist[:len(edges)+1]
-		for k := range h {
-			h[k] = binStats{}
-		}
-		for _, i := range idx {
-			b := t.bins.idx[i][f]
-			yi := y[i]
-			h[b].cnt++
-			h[b].sum += yi
-			h[b].sum2 += yi * yi
-		}
-		var ln, ls, ls2 float64
-		for b := 0; b < len(edges); b++ {
-			ln += h[b].cnt
-			ls += h[b].sum
-			ls2 += h[b].sum2
-			rn := n - ln
-			if ln == 0 || rn == 0 {
-				continue
-			}
-			rs := ts - ls
-			var score float64
-			if t.Classification {
-				score = 2*(ls-ls*ls/ln) + 2*(rs-rs*rs/rn)
-			} else {
-				rs2 := ts2 - ls2
-				score = (ls2 - ls*ls/ln) + (rs2 - rs*rs/rn)
-			}
-			if score < bestScore {
-				bestScore = score
-				feat = f
-				bin = uint8(b)
-				thr = edges[b]
-			}
+	for k, r := range results {
+		if r.ok && r.score < bestScore {
+			bestScore = r.score
+			feat = feats[k]
+			bin = r.bin
+			thr = r.thr
 		}
 	}
 	return feat, bin, thr, feat >= 0

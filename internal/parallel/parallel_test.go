@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1023} {
+		for _, grain := range []int{1, 3, 64, 5000} {
+			hits := make([]int32, n)
+			For(n, grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d grain=%d: index %d visited %d times", n, grain, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForMatchesSequential(t *testing.T) {
+	const n = 10000
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i) * 1.5
+	}
+	got := make([]float64, n)
+	For(n, 128, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			got[i] = float64(i) * 1.5
+		}
+	})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	if got := SetWorkers(0); got != 3 {
+		t.Fatalf("SetWorkers returned %d, want 3", got)
+	}
+	if Workers() < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", Workers())
+	}
+}
+
+func TestNestedForNoDeadlock(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var total atomic.Int64
+	For(8, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(16, 2, func(l, h int) {
+				total.Add(int64(h - l))
+			})
+		}
+	})
+	if total.Load() != 8*16 {
+		t.Fatalf("nested For ran %d units, want %d", total.Load(), 8*16)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c atomic.Int32
+	Do(
+		func() { a.Add(1) },
+		func() { b.Add(1) },
+		func() { c.Add(1) },
+	)
+	if a.Load() != 1 || b.Load() != 1 || c.Load() != 1 {
+		t.Fatalf("Do: counts %d %d %d, want 1 1 1", a.Load(), b.Load(), c.Load())
+	}
+	Do() // empty must not panic
+}

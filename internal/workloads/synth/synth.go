@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/reuse"
@@ -61,6 +62,86 @@ type Workload struct {
 	Costs reuse.Costs
 	// Nodes is the vertex count (diagnostics).
 	Nodes int
+}
+
+// WideProfile parameterizes Wide: a DAG shaped like the common Kaggle
+// pattern of independent feature branches — one source fanning out into
+// Branches parallel chains of Depth operations, merged by a final
+// multi-input combine. Unlike Generate's planner-overhead DAGs, Wide DAGs
+// are meant to be *executed*: every operation performs real work, so the
+// executor's branch-level parallelism is measurable.
+type WideProfile struct {
+	// Branches is the number of independent chains (≥ 1).
+	Branches int
+	// Depth is the operation count per chain (≥ 1).
+	Depth int
+	// SpinIters is deterministic CPU work per operation (iterations of a
+	// floating-point loop); 0 disables spinning.
+	SpinIters int
+	// Sleep is per-operation latency, a stand-in for I/O or external
+	// calls; 0 disables sleeping.
+	Sleep time.Duration
+}
+
+// workOp burns a fixed, deterministic amount of CPU and/or latency and
+// folds its inputs into the output value, so results depend on the full
+// ancestor chain and the work cannot be optimized away.
+type workOp struct {
+	name  string
+	iters int
+	sleep time.Duration
+}
+
+func (o workOp) Name() string        { return o.name }
+func (o workOp) Hash() string        { return graph.OpHash(o.name, fmt.Sprintf("%d/%s", o.iters, o.sleep)) }
+func (o workOp) OutKind() graph.Kind { return graph.AggregateKind }
+func (o workOp) Run(inputs []graph.Artifact) (graph.Artifact, error) {
+	if o.sleep > 0 {
+		time.Sleep(o.sleep)
+	}
+	s := 1.0
+	for i := 0; i < o.iters; i++ {
+		s += math.Sqrt(float64(i&1023)+s) * 1e-9
+	}
+	for _, a := range inputs {
+		if ag, ok := a.(*graph.AggregateArtifact); ok {
+			s += ag.Value
+		}
+	}
+	return &graph.AggregateArtifact{Value: s}, nil
+}
+
+// Wide builds the wide workload DAG described by p: one source, p.Branches
+// independent chains of p.Depth work operations, and a single combine
+// terminal. The seed only namespaces operation identities so distinct
+// instances do not collide in an Experiment Graph.
+func Wide(p WideProfile, seed int64) *graph.DAG {
+	if p.Branches < 1 {
+		p.Branches = 1
+	}
+	if p.Depth < 1 {
+		p.Depth = 1
+	}
+	w := graph.NewDAG()
+	src := w.AddSource(fmt.Sprintf("wide-src-%d", seed), &graph.AggregateArtifact{Value: 1})
+	ends := make([]*graph.Node, p.Branches)
+	for b := 0; b < p.Branches; b++ {
+		cur := src
+		for d := 0; d < p.Depth; d++ {
+			op := workOp{
+				name:  fmt.Sprintf("wide%d-b%d-d%d", seed, b, d),
+				iters: p.SpinIters,
+				sleep: p.Sleep,
+			}
+			cur = w.Apply(cur, op)
+		}
+		ends[b] = cur
+	}
+	if p.Branches == 1 {
+		return w
+	}
+	w.Combine(workOp{name: fmt.Sprintf("wide%d-merge", seed)}, ends...)
+	return w
 }
 
 // Generate builds one synthetic workload with the given seed.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/reuse"
 )
 
@@ -47,6 +48,39 @@ func TestMaterializedRatioApproximate(t *testing.T) {
 	ratio := float64(mat) / float64(tot)
 	if ratio < p.MaterializedRatio-0.1 || ratio > p.MaterializedRatio+0.1 {
 		t.Errorf("materialized ratio %.3f, want ~%.2f", ratio, p.MaterializedRatio)
+	}
+}
+
+func TestWideShape(t *testing.T) {
+	p := WideProfile{Branches: 4, Depth: 3}
+	w := Wide(p, 7)
+	// 1 source + 4*3 chain ops + 1 supernode + 1 merge.
+	if got, want := w.Len(), 1+4*3+2; got != want {
+		t.Fatalf("Wide DAG has %d vertices, want %d", got, want)
+	}
+	terms := w.Terminals()
+	if len(terms) != 1 {
+		t.Fatalf("Wide DAG has %d terminals, want 1", len(terms))
+	}
+	// Determinism: same profile and seed yield identical vertex IDs.
+	again := Wide(p, 7)
+	a, b := w.IDs(), again.IDs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Wide is not deterministic for equal seeds")
+		}
+	}
+	// Executability: every non-source, non-supernode vertex has an op.
+	for _, n := range w.Nodes() {
+		if n.IsSource() || n.Kind == graph.SupernodeKind {
+			continue
+		}
+		if n.Op == nil {
+			t.Fatalf("vertex %s has no op", n.Name)
+		}
+		if _, err := n.Op.Run(nil); err != nil {
+			t.Fatalf("op %s: %v", n.Name, err)
+		}
 	}
 }
 
