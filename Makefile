@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fmt-check bench ci
+.PHONY: build vet test race fmt-check bench bench-json cover ci
 
 build:
 	$(GO) build ./...
@@ -22,5 +22,21 @@ fmt-check:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# ci is the tier-1 gate: build, vet, formatting, plain tests, race tests.
-ci: build vet fmt-check test race
+# bench-json runs the benchmark suite once and converts the results into
+# machine-readable JSON (BENCH_exec.json) for tracking across commits.
+bench-json:
+	@$(GO) test -run=NONE -bench=. -benchtime=1x ./... > BENCH_exec.txt
+	@awk 'BEGIN { print "[" } \
+		/^Benchmark/ { if (n++) printf ",\n"; \
+			printf "  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s}", $$1, $$2, $$3 } \
+		END { print "\n]" }' BENCH_exec.txt > BENCH_exec.json
+	@rm -f BENCH_exec.txt
+	@echo "wrote BENCH_exec.json"
+
+# cover runs the full test suite with per-package coverage summaries.
+cover:
+	$(GO) test -cover ./...
+
+# ci is the tier-1 gate: build, vet, formatting, tests with coverage
+# (cover subsumes plain `test`), race tests.
+ci: build vet fmt-check cover race

@@ -13,11 +13,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/spec"
 	"repro/internal/workloads/kaggle"
@@ -53,12 +56,96 @@ func usage() {
   stats  -server URL                              show server EG/store state
   kaggle -server URL -workload N [-repeat K]      run a Table-1 workload
   openml -server URL -n N [-warmstart]            run OpenML-style pipelines
-  run    -server URL -spec wl.json [-dot out.dot] run a declarative workload`)
+  run    -server URL -spec wl.json [-dot out.dot] run a declarative workload
+  workload subcommands also take -trace out.json (Chrome trace of the
+  executions) and -metrics-addr :9090 (serve /metrics while running)`)
 	os.Exit(2)
 }
 
 func newRemote(serverURL string) *remote.Client {
 	return remote.NewClient(serverURL, cost.Remote())
+}
+
+// obsFlags bundles the client-side observability options shared by the
+// workload subcommands: -trace writes a Chrome trace_event timeline of the
+// executions and -metrics-addr serves a Prometheus-style /metrics endpoint
+// for the duration of the command.
+type obsFlags struct {
+	tracePath   string
+	metricsAddr string
+
+	trace   *obs.Trace
+	runs    *obs.Counter
+	exec    *obs.Counter
+	reused  *obs.Counter
+	warm    *obs.Counter
+	seconds *obs.Histogram
+}
+
+func registerObsFlags(fs *flag.FlagSet) *obsFlags {
+	f := &obsFlags{}
+	fs.StringVar(&f.tracePath, "trace", "", "write a Chrome trace_event JSON timeline to this file")
+	fs.StringVar(&f.metricsAddr, "metrics-addr", "", "serve /metrics on this address while the command runs")
+	return f
+}
+
+// start turns parsed flags into executor options and, if requested, brings
+// up the metrics listener.
+func (f *obsFlags) start() ([]core.ExecOption, error) {
+	var opts []core.ExecOption
+	if f.tracePath != "" {
+		f.trace = obs.NewTrace()
+		opts = append(opts, core.WithTrace(f.trace))
+	}
+	if f.metricsAddr != "" {
+		reg := obs.NewRegistry()
+		f.runs = reg.Counter("collab_client_runs_total", "Workload executions completed by this CLI.")
+		f.exec = reg.Counter("collab_client_executed_vertices_total", "Vertices computed locally.")
+		f.reused = reg.Counter("collab_client_reused_vertices_total", "Vertices loaded from the server instead of recomputed.")
+		f.warm = reg.Counter("collab_client_warmstarted_total", "Trainings that started from a server-proposed donor model.")
+		f.seconds = reg.Histogram("collab_client_run_seconds", "Wall-clock time per workload run.", obs.DefBuckets)
+		ln, err := net.Listen("tcp", f.metricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("metrics-addr: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", ln.Addr())
+	}
+	return opts, nil
+}
+
+// record tallies one finished run into the client metrics.
+func (f *obsFlags) record(res *core.RunResult) {
+	if f.runs == nil {
+		return
+	}
+	f.runs.Inc()
+	f.exec.Add(int64(res.Executed))
+	f.reused.Add(int64(res.Reused))
+	f.warm.Add(int64(res.Warmstarted))
+	f.seconds.Observe(res.RunTime.Seconds())
+}
+
+// flush writes the Chrome trace file if one was requested. Called via
+// defer so a partial timeline survives run errors.
+func (f *obsFlags) flush() {
+	if f.trace == nil {
+		return
+	}
+	out, err := os.Create(f.tracePath)
+	if err == nil {
+		err = f.trace.WriteChrome(out)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collab: writing trace:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", f.trace.Len(), f.tracePath)
 }
 
 func runStats(args []string) error {
@@ -82,11 +169,17 @@ func runKaggle(args []string) error {
 	repeat := fs.Int("repeat", 1, "times to run (repeats exercise reuse)")
 	scale := fs.Int("scale", 1, "data scale factor")
 	seed := fs.Int64("seed", 42, "data seed")
+	of := registerObsFlags(fs)
 	_ = fs.Parse(args)
+	opts, err := of.start()
+	if err != nil {
+		return err
+	}
+	defer of.flush()
 
 	sources := kaggle.Generate(kaggle.Config{Scale: *scale, Seed: *seed})
 	rc := newRemote(*server)
-	client := core.NewClient(rc)
+	client := core.NewClient(rc, opts...)
 	for _, wl := range kaggle.AllWorkloads() {
 		if *workload != 0 && wl.ID != *workload {
 			continue
@@ -99,6 +192,7 @@ func runKaggle(args []string) error {
 			if terr := rc.Err(); terr != nil {
 				return fmt.Errorf("workload %d run %d transport: %w", wl.ID, r, terr)
 			}
+			of.record(res)
 			fmt.Printf("W%d run %d: %.3fs (executed %d, reused %d, plan overhead %s)\n",
 				wl.ID, r, res.RunTime.Seconds(), res.Executed, res.Reused, res.OptimizeOverhead)
 		}
@@ -113,10 +207,16 @@ func runSpec(args []string) error {
 	server := fs.String("server", "http://localhost:7171", "collabd URL")
 	specPath := fs.String("spec", "", "path to the JSON workload spec")
 	dotPath := fs.String("dot", "", "write the executed DAG as Graphviz DOT to this file")
+	of := registerObsFlags(fs)
 	_ = fs.Parse(args)
 	if *specPath == "" {
 		return fmt.Errorf("run: -spec is required")
 	}
+	opts, err := of.start()
+	if err != nil {
+		return err
+	}
+	defer of.flush()
 	raw, err := os.ReadFile(*specPath)
 	if err != nil {
 		return err
@@ -130,13 +230,14 @@ func runSpec(args []string) error {
 		return err
 	}
 	rc := newRemote(*server)
-	res, err := core.NewClient(rc).Run(dag)
+	res, err := core.NewClient(rc, opts...).Run(dag)
 	if err != nil {
 		return err
 	}
 	if terr := rc.Err(); terr != nil {
 		return fmt.Errorf("transport: %w", terr)
 	}
+	of.record(res)
 	fmt.Printf("ran %s: %.3fs (executed %d, reused %d, warmstarted %d)\n",
 		*specPath, res.RunTime.Seconds(), res.Executed, res.Reused, res.Warmstarted)
 	for _, step := range wl.Steps {
@@ -167,13 +268,19 @@ func runOpenML(args []string) error {
 	server := fs.String("server", "http://localhost:7171", "collabd URL")
 	n := fs.Int("n", 20, "number of pipelines to run")
 	warm := fs.Bool("warmstart", false, "request warmstarting")
+	of := registerObsFlags(fs)
 	_ = fs.Parse(args)
+	opts, err := of.start()
+	if err != nil {
+		return err
+	}
+	defer of.flush()
 
 	cfg := openml.DefaultConfig()
 	frame := openml.GenerateDataset(cfg)
 	pipes := openml.SamplePipelines(cfg, *n, *warm)
 	rc := newRemote(*server)
-	client := core.NewClient(rc)
+	client := core.NewClient(rc, opts...)
 	for i, p := range pipes {
 		w := p.Build(frame)
 		res, err := client.Run(w)
@@ -183,6 +290,7 @@ func runOpenML(args []string) error {
 		if terr := rc.Err(); terr != nil {
 			return fmt.Errorf("pipeline %d transport: %w", i, terr)
 		}
+		of.record(res)
 		fmt.Printf("pipeline %3d %-22s %.3fs quality=%.3f (executed %d, reused %d, warmstarted %d)\n",
 			i, p, res.RunTime.Seconds(), openml.ModelQuality(w), res.Executed, res.Reused, res.Warmstarted)
 	}

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	collabd -addr :7171 -budget 1073741824 -strategy sa -planner ln
+//	collabd -addr :7171 -budget 1073741824 -strategy sa -planner ln [-trace 65536]
+//
+// Prometheus-style metrics are always served at /metrics; -trace N keeps a
+// rolling buffer of server spans exported at /v1/trace as Chrome trace JSON.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/eg"
 	"repro/internal/materialize"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/remote"
 	"repro/internal/reuse"
@@ -40,6 +44,7 @@ func main() {
 		pruneIdle  = flag.Int("prune-idle", 0, "drop unmaterialized vertices idle for N workloads (0: never)")
 		pruneFreq  = flag.Int("prune-min-freq", 0, "always keep vertices seen in at least N workloads")
 		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "periodic save interval when -data-dir is set")
+		traceCap   = flag.Int("trace", 0, "buffer up to N server trace events for GET /v1/trace (0: tracing off)")
 	)
 	flag.Parse()
 
@@ -60,7 +65,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := core.NewServer(store.New(prof),
+	srvOpts := []core.ServerOption{
 		core.WithBudget(*budget),
 		core.WithStrategy(strat),
 		core.WithPlanner(plan),
@@ -69,7 +74,11 @@ func main() {
 			MaxIdleWorkloads: *pruneIdle,
 			MinFrequency:     *pruneFreq,
 		}),
-	)
+	}
+	if *traceCap > 0 {
+		srvOpts = append(srvOpts, core.WithTracing(obs.NewTraceCapped(*traceCap)))
+	}
+	srv := core.NewServer(store.New(prof), srvOpts...)
 	if *dataDir != "" {
 		restored, err := persist.Load(srv, *dataDir)
 		if err != nil {
@@ -103,7 +112,15 @@ func main() {
 	}
 	log.Printf("collabd: listening on %s (strategy=%s planner=%s budget=%d alpha=%.2f profile=%s)",
 		*addr, strat.Name(), plan.Name(), *budget, *alpha, prof.Name)
+	log.Printf("collabd: metrics at http://%s/metrics, tracing %s", *addr, traceState(*traceCap))
 	log.Fatal(http.ListenAndServe(*addr, remote.NewHandler(srv)))
+}
+
+func traceState(cap int) string {
+	if cap > 0 {
+		return fmt.Sprintf("on (%d-event buffer, GET /v1/trace)", cap)
+	}
+	return "off (-trace N to enable)"
 }
 
 func profileByName(name string) (cost.Profile, error) {

@@ -5,11 +5,13 @@
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
 	"net/http"
+	"strings"
 
 	"repro"
 )
@@ -51,6 +53,36 @@ func main() {
 	}
 	fmt.Printf("client 2: %8.3fms executed=%d reused=%d\n",
 		float64(r2.RunTime.Microseconds())/1000, r2.Executed, r2.Reused)
+
+	// The server also exposes Prometheus-style metrics: two optimize
+	// round-trips, and reuse planned only for the second client.
+	printMetrics(url)
+}
+
+func printMetrics(url string) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	interesting := []string{
+		"collab_optimize_requests_total ",
+		"collab_plan_reuse_vertices_total ",
+		"collab_store_get_hits_total ",
+		"collab_eg_vertices ",
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, prefix := range interesting {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Println("metric:", line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func buildWorkload(frame *repro.Frame) *repro.Workload {

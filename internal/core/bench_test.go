@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/workloads/synth"
 )
@@ -37,4 +38,36 @@ func BenchmarkExecuteSequentialVsParallel(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkExecuteTraceOverhead compares Execute on the synth.Wide DAG
+// with tracing absent (no option), disabled (nil recorder — the WithTrace
+// fast path), and enabled. Absent and disabled must match within noise:
+// the disabled path takes no timestamps and allocates nothing for tracing
+// (allocations are reported; compare disabled against absent).
+func BenchmarkExecuteTraceOverhead(b *testing.B) {
+	prof := synth.WideProfile{Branches: 8, Depth: 3, SpinIters: 50_000}
+	run := func(b *testing.B, mkOpts func() []ExecOption) {
+		b.Helper()
+		srv := NewServer(store.New(cost.Memory()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := synth.Wide(prof, 1)
+			if _, err := Execute(w, nil, srv, mkOpts()...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("absent", func(b *testing.B) {
+		run(b, func() []ExecOption { return []ExecOption{WithParallelism(4)} })
+	})
+	b.Run("disabled", func(b *testing.B) {
+		run(b, func() []ExecOption { return []ExecOption{WithParallelism(4), WithTrace(nil)} })
+	})
+	b.Run("enabled", func(b *testing.B) {
+		run(b, func() []ExecOption {
+			return []ExecOption{WithParallelism(4), WithTrace(obs.NewTrace())}
+		})
+	})
 }

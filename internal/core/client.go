@@ -58,6 +58,7 @@ func (c *Client) Run(w *graph.DAG) (*RunResult, error) {
 	opt := c.srv.Optimize(w)
 
 	// Install warmstart donors on the client, which owns the operations.
+	tr := traceOf(c.execOpts)
 	for _, cand := range opt.Warmstarts {
 		n := w.Node(cand.VertexID)
 		if n == nil || n.Op == nil {
@@ -69,6 +70,11 @@ func (c *Client) Run(w *graph.DAG) (*RunResult, error) {
 		}
 		if ma, ok := c.srv.Fetch(cand.DonorID).(*graph.ModelArtifact); ok && ma.Model != nil {
 			wop.SetDonor(ma.Model)
+			if tr != nil {
+				tr.Instant(n.Name, "warmstart", 0, map[string]any{
+					"vertex": cand.VertexID, "donor": cand.DonorID, "quality": cand.Quality,
+				})
+			}
 		}
 	}
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/reuse"
 )
@@ -49,6 +50,7 @@ type ExecOption func(*execConfig)
 
 type execConfig struct {
 	workers int
+	trace   *obs.Trace
 }
 
 // WithParallelism bounds the number of vertices executed concurrently.
@@ -56,6 +58,25 @@ type execConfig struct {
 // (parallel.Workers(), i.e. runtime.GOMAXPROCS by default).
 func WithParallelism(n int) ExecOption {
 	return func(c *execConfig) { c.workers = n }
+}
+
+// WithTrace attaches a trace recorder to the execution: every vertex emits
+// scheduling instants and fetch/compute spans keyed by worker lane, plus
+// one top-level span per Execute. A nil recorder (the default) keeps the
+// hot path free of tracing work — no timestamps taken, nothing allocated.
+// Tracing never alters scheduling, so determinism guarantees are unchanged.
+func WithTrace(t *obs.Trace) ExecOption {
+	return func(c *execConfig) { c.trace = t }
+}
+
+// traceOf extracts the recorder an option list carries, for callers (the
+// client) that want to annotate the same timeline.
+func traceOf(opts []ExecOption) *obs.Trace {
+	cfg := execConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.trace
 }
 
 // vexec is the per-vertex scheduling state of one Execute call. Each vertex
@@ -125,6 +146,7 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOpt
 	if workers < 1 {
 		workers = parallel.Workers()
 	}
+	tr := cfg.trace
 	start := time.Now()
 	if plan == nil {
 		plan = &reuse.Plan{Reuse: map[string]bool{}}
@@ -190,7 +212,7 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOpt
 	}
 	heap.Init(&ready)
 
-	worker := func() {
+	worker := func(wid int) {
 		for {
 			mu.Lock()
 			// Once a vertex at topo index k failed, only vertices
@@ -215,7 +237,10 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOpt
 			inflight++
 			mu.Unlock()
 
-			err := runVertex(s, src)
+			if tr != nil {
+				tr.Instant(s.node.Name, "sched", wid, map[string]any{"vertex": s.node.ID})
+			}
+			err := runVertex(s, src, tr, wid)
 
 			mu.Lock()
 			inflight--
@@ -239,12 +264,12 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOpt
 	var wg sync.WaitGroup
 	for i := 1; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(wid int) {
 			defer wg.Done()
-			worker()
-		}()
+			worker(wid)
+		}(i)
 	}
-	worker()
+	worker(0)
 	wg.Wait()
 
 	if errTopo >= 0 {
@@ -273,21 +298,37 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOpt
 	}
 	res.RunTime = res.ComputeTime + res.LoadTime
 	res.WallTime = time.Since(start)
+	if tr != nil {
+		tr.Span("execute", "execute", 0, start, res.WallTime, map[string]any{
+			"executed": res.Executed, "reused": res.Reused,
+			"skipped": res.Skipped, "warmstarted": res.Warmstarted,
+			"workers": workers,
+		})
+	}
 	return res, nil
 }
 
 // runVertex performs the work of one active vertex. It is called by
 // exactly one worker per vertex; the node and the vexec completion fields
 // are owned by that worker until it publishes under the scheduler lock.
-func runVertex(s *vexec, src ArtifactSource) error {
+// tr may be nil (tracing disabled); every tracing statement is guarded so
+// the disabled path takes no timestamps and allocates nothing.
+func runVertex(s *vexec, src ArtifactSource, tr *obs.Trace, wid int) error {
 	n := s.node
 	switch {
 	case n.Computed && n.Content != nil:
 		// already on the client (source or prior cell)
 	case s.stop:
 		// plan-reuse vertex: fetch from the store
+		var fetchStart time.Time
+		if tr != nil {
+			fetchStart = time.Now()
+		}
 		content := src.Fetch(n.ID)
 		if content == nil {
+			if tr != nil {
+				tr.Instant(n.Name, "error", wid, map[string]any{"vertex": n.ID, "missing": true})
+			}
 			return fmt.Errorf("core: plan reuses %s (%s) but store has no content", n.ID, n.Name)
 		}
 		n.Content = content
@@ -298,6 +339,12 @@ func runVertex(s *vexec, src ArtifactSource) error {
 		}
 		s.loadCost = src.LoadCostOf(n.SizeBytes)
 		s.reused = true
+		if tr != nil {
+			tr.Span(n.Name, "fetch", wid, fetchStart, time.Since(fetchStart), map[string]any{
+				"vertex": n.ID, "reuse": true, "bytes": n.SizeBytes,
+				"load_cost_ms": float64(s.loadCost.Microseconds()) / 1e3,
+			})
+		}
 	case n.Kind == graph.SupernodeKind:
 		// Supernodes carry no data and no computation.
 	default:
@@ -312,6 +359,11 @@ func runVertex(s *vexec, src ArtifactSource) error {
 		content, err := n.Op.Run(inputs)
 		elapsed := time.Since(start)
 		if err != nil {
+			if tr != nil {
+				tr.Span(n.Name, "compute", wid, start, elapsed, map[string]any{
+					"vertex": n.ID, "error": err.Error(),
+				})
+			}
 			return fmt.Errorf("core: executing %s: %w", n.Name, err)
 		}
 		n.Content = content
@@ -325,6 +377,12 @@ func runVertex(s *vexec, src ArtifactSource) error {
 		}
 		s.elapsed = elapsed
 		s.executed = true
+		if tr != nil {
+			tr.Span(n.Name, "compute", wid, start, elapsed, map[string]any{
+				"vertex": n.ID, "reuse": false, "bytes": n.SizeBytes,
+				"warmstart": n.Warmstarted,
+			})
+		}
 	}
 	return nil
 }

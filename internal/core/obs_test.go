@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/workloads/synth"
+)
+
+// wideWorkload returns a freshly built copy of the same wide DAG; per-op
+// sleep gives compute times large enough that the planner prefers loading
+// from a memory-profile store on the second run.
+func wideWorkload() *synth.WideProfile {
+	return &synth.WideProfile{Branches: 4, Depth: 2, Sleep: time.Millisecond}
+}
+
+func TestExecuteTraceRecordsVertexLifecycle(t *testing.T) {
+	srv := NewServer(store.New(cost.Memory()))
+	p := wideWorkload()
+
+	// Run once untraced to populate the EG and the store.
+	if _, err := NewClient(srv).Run(synth.Wide(*p, 7)); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTrace()
+	res, err := NewClient(srv, WithTrace(tr)).Run(synth.Wide(*p, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reused == 0 {
+		t.Fatal("second run reused nothing; trace assertions below need fetches")
+	}
+
+	var scheds, fetches, computes, executes int
+	for _, ev := range tr.Events() {
+		switch ev.Cat {
+		case "sched":
+			if ev.Ph != "i" {
+				t.Errorf("sched event has ph %q, want i", ev.Ph)
+			}
+			if ev.Args["vertex"] == nil {
+				t.Error("sched event missing vertex arg")
+			}
+			scheds++
+		case "fetch":
+			if ev.Ph != "X" || ev.Args["reuse"] != true {
+				t.Errorf("fetch event malformed: %+v", ev)
+			}
+			fetches++
+		case "compute":
+			if ev.Ph != "X" || ev.Args["reuse"] != false {
+				t.Errorf("compute event malformed: %+v", ev)
+			}
+			computes++
+		case "execute":
+			if ev.Args["reused"] != res.Reused || ev.Args["executed"] != res.Executed {
+				t.Errorf("execute summary %v disagrees with result %+v", ev.Args, res)
+			}
+			executes++
+		}
+	}
+	if fetches != res.Reused {
+		t.Errorf("trace has %d fetch spans, result reused %d", fetches, res.Reused)
+	}
+	if computes != res.Executed {
+		t.Errorf("trace has %d compute spans, result executed %d", computes, res.Executed)
+	}
+	// Every fetched or computed vertex was dispatched (already-computed
+	// stop vertices may add sched instants without a span).
+	if scheds < fetches+computes {
+		t.Errorf("%d sched instants for %d dispatched vertices", scheds, fetches+computes)
+	}
+	if executes != 1 {
+		t.Errorf("%d execute spans, want 1", executes)
+	}
+}
+
+func TestExecuteTraceDisabledRecordsNothing(t *testing.T) {
+	srv := NewServer(store.New(cost.Memory()))
+	var tr *obs.Trace // disabled
+	if _, err := Execute(synth.Wide(*wideWorkload(), 3), nil, srv, WithTrace(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("nil trace recorded events")
+	}
+}
+
+func TestServerMetricsExposition(t *testing.T) {
+	srv := NewServer(store.New(cost.Memory()))
+	p := wideWorkload()
+	for i := 0; i < 2; i++ {
+		if _, err := NewClient(srv).Run(synth.Wide(*p, 11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if srv.OptimizeCount() != 2 || srv.UpdateCount() != 2 {
+		t.Errorf("optimize/update counts = %d/%d, want 2/2",
+			srv.OptimizeCount(), srv.UpdateCount())
+	}
+	if srv.ReusePlanned() == 0 {
+		t.Error("second run should have planned reuse")
+	}
+	plan, mat := srv.Timings()
+	if plan <= 0 || mat <= 0 {
+		t.Errorf("timings plan=%v mat=%v, want positive", plan, mat)
+	}
+
+	var b strings.Builder
+	if err := srv.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"collab_optimize_requests_total 2",
+		"collab_update_requests_total 2",
+		"collab_plan_reuse_vertices_total",
+		"collab_store_get_hits_total",
+		"collab_eg_vertices",
+		"collab_materialize_runs_total 2",
+		"collab_optimize_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestServerTracingSpans(t *testing.T) {
+	tr := obs.NewTrace()
+	srv := NewServer(store.New(cost.Memory()), WithTracing(tr))
+	if srv.Trace() != tr {
+		t.Fatal("Trace() should return the installed recorder")
+	}
+	if _, err := NewClient(srv).Run(synth.Wide(*wideWorkload(), 5)); err != nil {
+		t.Fatal(err)
+	}
+	cats := map[string]int{}
+	for _, ev := range tr.Events() {
+		cats[ev.Name]++
+	}
+	for _, want := range []string{"optimize", "update", "materialize"} {
+		if cats[want] == 0 {
+			t.Errorf("server trace missing %q span; got %v", want, cats)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/eg"
 	"repro/internal/graph"
 	"repro/internal/materialize"
+	"repro/internal/obs"
 	"repro/internal/reuse"
 	"repro/internal/store"
 )
@@ -38,6 +39,57 @@ type Server struct {
 	PlanTime time.Duration
 	// MatTime accumulates materialization-algorithm overhead.
 	MatTime time.Duration
+
+	// metrics is the server's observability registry (always on — updates
+	// are atomic counters, far below planning cost). trace is the opt-in
+	// server-side timeline; nil unless WithTracing was given.
+	metrics *serverMetrics
+	trace   *obs.Trace
+}
+
+// serverMetrics bundles the server's instruments; see DESIGN.md
+// "Observability" for the metric inventory.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	optimizeTotal   *obs.Counter
+	optimizeSec     *obs.Histogram
+	updateTotal     *obs.Counter
+	matSec          *obs.Histogram
+	matRuns         *obs.Counter
+	matSelected     *obs.Gauge
+	matEvicted      *obs.Counter
+	planLoads       *obs.Counter
+	planComputes    *obs.Counter
+	planCandidates  *obs.Counter
+	planPruned      *obs.Counter
+	warmstartsFound *obs.Counter
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := obs.NewRegistry()
+	return &serverMetrics{
+		reg:           reg,
+		optimizeTotal: reg.Counter("collab_optimize_requests_total", "optimize round-trips served"),
+		optimizeSec: reg.Histogram("collab_optimize_seconds",
+			"reuse-planning latency per optimize request", nil),
+		updateTotal: reg.Counter("collab_update_requests_total", "updater invocations"),
+		matSec: reg.Histogram("collab_materialize_seconds",
+			"materialization-algorithm latency per update", nil),
+		matRuns:     reg.Counter("collab_materialize_runs_total", "materialization algorithm runs"),
+		matSelected: reg.Gauge("collab_materialize_selected", "size of the last materialization selection"),
+		matEvicted:  reg.Counter("collab_materialize_evictions_total", "artifacts evicted by reselection"),
+		planLoads: reg.Counter("collab_plan_reuse_vertices_total",
+			"vertices the reuse planner decided to load (post backward prune)"),
+		planComputes: reg.Counter("collab_plan_compute_vertices_total",
+			"vertices the reuse planner left to compute"),
+		planCandidates: reg.Counter("collab_plan_reuse_candidates_total",
+			"forward-pass load candidates before backward pruning"),
+		planPruned: reg.Counter("collab_plan_pruned_vertices_total",
+			"load candidates dropped by the backward pass"),
+		warmstartsFound: reg.Counter("collab_warmstart_candidates_total",
+			"warmstart donors proposed to clients"),
+	}
 }
 
 // ServerOption configures a Server.
@@ -69,6 +121,13 @@ func WithPrunePolicy(p eg.PrunePolicy) ServerOption {
 	return func(srv *Server) { srv.prune = p }
 }
 
+// WithTracing attaches a server-side trace recorder: optimize, update, and
+// materialize phases record spans onto it, served by the remote handler's
+// /v1/trace endpoint. Nil (the default) disables tracing entirely.
+func WithTracing(t *obs.Trace) ServerOption {
+	return func(srv *Server) { srv.trace = t }
+}
+
 // NewServer builds a server around the given store.
 func NewServer(st *store.Manager, opts ...ServerOption) *Server {
 	srv := &Server{
@@ -82,8 +141,74 @@ func NewServer(st *store.Manager, opts ...ServerOption) *Server {
 	for _, o := range opts {
 		o(srv)
 	}
+	srv.initMetrics()
 	return srv
 }
+
+// initMetrics wires the registry: server counters, scrape-time gauges over
+// the EG and the store (both internally locked), store operation counters,
+// and — when the strategy supports it — materializer decision counters.
+func (s *Server) initMetrics() {
+	m := newServerMetrics()
+	s.metrics = m
+	reg := m.reg
+	reg.GaugeFunc("collab_eg_vertices", "Experiment Graph vertex count",
+		func() float64 { return float64(s.EG.Len()) })
+	reg.GaugeFunc("collab_eg_materialized", "EG vertices with stored content",
+		func() float64 { return float64(len(s.EG.MaterializedIDs())) })
+	reg.GaugeFunc("collab_store_artifacts", "artifacts in the store",
+		func() float64 { return float64(s.Store.Len()) })
+	reg.GaugeFunc("collab_store_physical_bytes", "deduplicated bytes stored",
+		func() float64 { return float64(s.Store.PhysicalBytes()) })
+	reg.GaugeFunc("collab_store_logical_bytes", "bytes stored before deduplication",
+		func() float64 { return float64(s.Store.LogicalBytes()) })
+	s.Store.Instrument(store.Metrics{
+		GetHits:      reg.Counter("collab_store_get_hits_total", "store lookups that found content"),
+		GetMisses:    reg.Counter("collab_store_get_misses_total", "store lookups that missed"),
+		Puts:         reg.Counter("collab_store_puts_total", "artifacts admitted to the store"),
+		Evictions:    reg.Counter("collab_store_evictions_total", "artifacts evicted from the store"),
+		BytesFetched: reg.Counter("collab_store_fetched_bytes_total", "logical bytes served by store lookups"),
+	})
+	if ins, ok := s.strategy.(materialize.Instrumentable); ok {
+		ins.Instrument(&materialize.Metrics{
+			Considered: reg.Counter("collab_materialize_considered_total",
+				"eligible candidates scored by the materializer"),
+			Vetoed: reg.Counter("collab_materialize_vetoed_total",
+				"candidates rejected by the load-cost veto (Cl >= Cr)"),
+		})
+	}
+}
+
+// Metrics returns the server's observability registry, rendered by the
+// remote handler's /metrics endpoint.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
+
+// Trace returns the server-side trace recorder, or nil when tracing is
+// disabled.
+func (s *Server) Trace() *obs.Trace { return s.trace }
+
+// Timings returns the accumulated reuse-planning and materialization
+// overheads under the server lock (safe concurrent read of PlanTime and
+// MatTime).
+func (s *Server) Timings() (plan, mat time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.PlanTime, s.MatTime
+}
+
+// ReusePlanned returns the cumulative count of vertices reuse plans chose
+// to load.
+func (s *Server) ReusePlanned() int64 { return s.metrics.planLoads.Value() }
+
+// WarmstartsProposed returns the cumulative count of warmstart donors
+// proposed.
+func (s *Server) WarmstartsProposed() int64 { return s.metrics.warmstartsFound.Value() }
+
+// OptimizeCount returns how many optimize requests the server served.
+func (s *Server) OptimizeCount() int64 { return s.metrics.optimizeTotal.Value() }
+
+// UpdateCount returns how many updater invocations the server served.
+func (s *Server) UpdateCount() int64 { return s.metrics.updateTotal.Value() }
 
 // Budget returns the materialization budget in bytes.
 func (s *Server) Budget() int64 { return s.budget }
@@ -124,6 +249,19 @@ func (s *Server) Optimize(w *graph.DAG) *Optimization {
 	if s.warmstart {
 		ws = reuse.FindWarmstarts(w, s.EG, s.Store, plan)
 	}
+	m := s.metrics
+	m.optimizeTotal.Inc()
+	m.optimizeSec.Observe(overhead.Seconds())
+	m.planLoads.Add(int64(len(plan.Reuse)))
+	m.planComputes.Add(int64(plan.Stats.Computes))
+	m.planCandidates.Add(int64(plan.Stats.CandidateLoads))
+	m.planPruned.Add(int64(plan.Stats.Pruned))
+	m.warmstartsFound.Add(int64(len(ws)))
+	if s.trace != nil {
+		s.trace.Span("optimize", "server", 0, start, overhead, map[string]any{
+			"vertices": w.Len(), "reuse": len(plan.Reuse), "warmstarts": len(ws),
+		})
+	}
 	return &Optimization{Plan: plan, Warmstarts: ws, Overhead: overhead}
 }
 
@@ -135,6 +273,7 @@ func (s *Server) Optimize(w *graph.DAG) *Optimization {
 func (s *Server) Update(executed *graph.DAG) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	start := time.Now()
 
 	s.EG.Merge(executed)
 
@@ -148,6 +287,11 @@ func (s *Server) Update(executed *graph.DAG) {
 	}
 	s.applySelectionLocked(available, touched)
 	s.EG.Prune(s.prune)
+	s.metrics.updateTotal.Inc()
+	if s.trace != nil {
+		s.trace.Span("update", "server", 0, start, time.Since(start),
+			map[string]any{"vertices": executed.Len()})
+	}
 }
 
 // UpdateMeta is the remote (two-phase) variant of Update: the DAG carries
@@ -158,6 +302,7 @@ func (s *Server) Update(executed *graph.DAG) {
 func (s *Server) UpdateMeta(executed *graph.DAG) (want []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	start := time.Now()
 
 	s.EG.Merge(executed)
 	touched := make([]string, 0, executed.Len())
@@ -166,6 +311,11 @@ func (s *Server) UpdateMeta(executed *graph.DAG) (want []string) {
 	}
 	want = s.applySelectionLocked(nil, touched)
 	s.EG.Prune(s.prune)
+	s.metrics.updateTotal.Inc()
+	if s.trace != nil {
+		s.trace.Span("update-meta", "server", 0, start, time.Since(start),
+			map[string]any{"vertices": executed.Len(), "want": len(want)})
+	}
 	return want
 }
 
@@ -211,7 +361,15 @@ func (s *Server) applySelectionLocked(available map[string]graph.Artifact, touch
 	} else {
 		desired = s.strategy.Select(s.EG, s.budget)
 	}
-	s.MatTime += time.Since(start)
+	matElapsed := time.Since(start)
+	s.MatTime += matElapsed
+	s.metrics.matRuns.Inc()
+	s.metrics.matSec.Observe(matElapsed.Seconds())
+	s.metrics.matSelected.Set(float64(len(desired)))
+	if s.trace != nil {
+		s.trace.Span("materialize", "server", 0, start, matElapsed,
+			map[string]any{"selected": len(desired)})
+	}
 
 	desiredSet := make(map[string]bool, len(desired))
 	for _, id := range desired {
@@ -224,6 +382,7 @@ func (s *Server) applySelectionLocked(available map[string]graph.Artifact, touch
 		}
 		s.Store.Evict(id)
 		s.EG.SetMaterialized(id, false)
+		s.metrics.matEvicted.Inc()
 	}
 	// Store newly selected artifacts whose content we have; report the
 	// rest so a remote client can upload them.

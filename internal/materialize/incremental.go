@@ -160,8 +160,12 @@ func (m *Incremental) refresh(g *eg.Graph, id string) {
 		st.p, st.rcs = 0, 0
 		return
 	}
+	m.cfg.Metrics.considered().Inc()
 	cl := m.cfg.Profile.LoadCost(v.SizeBytes)
 	st.vetoed = !m.cfg.DisableLoadCostVeto && cl >= cr
+	if st.vetoed {
+		m.cfg.Metrics.vetoed().Inc()
+	}
 	sz := v.SizeBytes
 	if sz <= 0 {
 		sz = 1

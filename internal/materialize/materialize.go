@@ -15,6 +15,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/eg"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Strategy selects which artifacts to materialize.
@@ -38,7 +39,51 @@ type Config struct {
 	// DisableLoadCostVeto turns off the "never materialize when loading
 	// is no cheaper than recomputing" rule, for ablation studies.
 	DisableLoadCostVeto bool
+	// Metrics holds optional decision counters (nil disables counting;
+	// all instruments are nil-safe, see internal/obs).
+	Metrics *Metrics
 }
+
+// Metrics counts materialization decisions for observability.
+type Metrics struct {
+	// Considered counts eligible candidates scored by utility.
+	Considered *obs.Counter
+	// Vetoed counts candidates rejected by the Cl >= Cr load-cost veto
+	// (for Helix, its Cr <= 2*Cl analogue).
+	Vetoed *obs.Counter
+}
+
+func (m *Metrics) considered() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Considered
+}
+
+func (m *Metrics) vetoed() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Vetoed
+}
+
+// Instrumentable is implemented by strategies that accept decision
+// counters after construction; the server wires its registry through it.
+type Instrumentable interface {
+	Instrument(*Metrics)
+}
+
+// Instrument implements Instrumentable.
+func (m *Greedy) Instrument(met *Metrics) { m.cfg.Metrics = met }
+
+// Instrument implements Instrumentable.
+func (m *StorageAware) Instrument(met *Metrics) { m.cfg.Metrics = met }
+
+// Instrument implements Instrumentable.
+func (m *Helix) Instrument(met *Metrics) { m.cfg.Metrics = met }
+
+// Instrument implements Instrumentable.
+func (m *Incremental) Instrument(met *Metrics) { m.cfg.Metrics = met }
 
 func (c Config) alpha() float64 {
 	if c.Alpha == 0 {
@@ -72,9 +117,11 @@ func (c Config) candidates(g *eg.Graph) []candidate {
 		if !eligible(v) {
 			continue
 		}
+		c.Metrics.considered().Inc()
 		crv := cr[v.ID]
 		cl := c.Profile.LoadCost(v.SizeBytes)
 		if !c.DisableLoadCostVeto && cl >= crv {
+			c.Metrics.vetoed().Inc()
 			continue // U(v) = 0: loading is no cheaper than recomputing
 		}
 		sz := v.SizeBytes
@@ -214,8 +261,10 @@ func (m *Helix) Select(g *eg.Graph, budget int64) []string {
 		if v == nil || !eligible(v) {
 			continue
 		}
+		m.cfg.Metrics.considered().Inc()
 		cl := m.cfg.Profile.LoadCost(v.SizeBytes)
 		if cr[id] <= 2*cl {
+			m.cfg.Metrics.vetoed().Inc()
 			continue
 		}
 		if used+v.SizeBytes > budget {

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one Chrome trace_event record. Field names and JSON keys
+// follow the Trace Event Format so the export loads in chrome://tracing
+// and Perfetto unmodified: ph "X" is a complete event (ts + dur), ph "i"
+// an instant event.
+type TraceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	Ph   string `json:"ph"`
+	// TS and Dur are microseconds relative to the trace epoch.
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object form of a trace file, used by both the
+// exporter and tests that round-trip it.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit,omitempty"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// Trace records timeline events for one execution (or one server's
+// lifetime). All methods are safe for concurrent use and nil-safe: a nil
+// *Trace records nothing, which is the disabled fast path — callers still
+// guard argument construction behind a nil check to keep hot paths
+// allocation-free.
+type Trace struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	events  []TraceEvent
+	max     int // 0 = unbounded
+	dropped int64
+}
+
+// NewTrace returns an unbounded recorder whose epoch is now.
+func NewTrace() *Trace { return &Trace{epoch: time.Now()} }
+
+// NewTraceCapped returns a recorder that keeps at most max events; once
+// full, further events are counted as dropped. Use for long-running
+// servers where the trace is scraped periodically and Reset.
+func NewTraceCapped(max int) *Trace { return &Trace{epoch: time.Now(), max: max} }
+
+// Enabled reports whether the recorder is non-nil, for call sites that
+// want a readable guard.
+func (t *Trace) Enabled() bool { return t != nil }
+
+func (t *Trace) sinceEpochMicros(ts time.Time) float64 {
+	return float64(ts.Sub(t.epoch).Nanoseconds()) / 1e3
+}
+
+func (t *Trace) append(ev TraceEvent) {
+	t.mu.Lock()
+	if t.max > 0 && len(t.events) >= t.max {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Span records a complete ("X") event covering [start, start+dur) on the
+// given thread lane.
+func (t *Trace) Span(name, cat string, tid int, start time.Time, dur time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS: t.sinceEpochMicros(start), Dur: float64(dur.Nanoseconds()) / 1e3,
+		PID: 1, TID: tid, Args: args,
+	})
+}
+
+// Instant records a point-in-time ("i") event, thread-scoped.
+func (t *Trace) Instant(name, cat string, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		TS:  t.sinceEpochMicros(time.Now()),
+		PID: 1, TID: tid, Args: args,
+	})
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events the cap discarded.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the recorded events in append order.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Reset discards all recorded events and the drop count; the epoch is
+// preserved so timestamps across resets stay on one timeline.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = nil
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// WriteChrome exports the trace as a Chrome trace_event JSON object.
+// A nil trace writes an empty-but-valid trace.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	ct := ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []TraceEvent{}}
+	if t != nil {
+		ct.TraceEvents = t.Events()
+		if d := t.Dropped(); d > 0 {
+			ct.OtherData = map[string]any{"droppedEvents": d}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&ct)
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -24,6 +25,8 @@ func NewHandler(srv *core.Server) *Handler {
 	h.mux.HandleFunc("GET /v1/artifact", h.getArtifact)
 	h.mux.HandleFunc("POST /v1/artifact", h.putArtifact)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	h.mux.Handle("GET /metrics", srv.Metrics().Handler())
+	h.mux.HandleFunc("GET /v1/trace", h.trace)
 	return h
 }
 
@@ -44,6 +47,8 @@ func (h *Handler) optimize(w http.ResponseWriter, r *http.Request) {
 	for id := range opt.Plan.Reuse {
 		resp.ReuseIDs = append(resp.ReuseIDs, id)
 	}
+	// Map iteration order is random; sort so responses are byte-stable.
+	sort.Strings(resp.ReuseIDs)
 	writeGob(w, &resp)
 }
 
@@ -102,14 +107,34 @@ func (h *Handler) putArtifact(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
+	plan, mat := h.srv.Timings()
 	st := Stats{
-		Vertices:      h.srv.EG.Len(),
-		Materialized:  len(h.srv.EG.MaterializedIDs()),
-		PhysicalBytes: h.srv.Store.PhysicalBytes(),
-		LogicalBytes:  h.srv.Store.LogicalBytes(),
+		Vertices:           h.srv.EG.Len(),
+		Materialized:       len(h.srv.EG.MaterializedIDs()),
+		PhysicalBytes:      h.srv.Store.PhysicalBytes(),
+		LogicalBytes:       h.srv.Store.LogicalBytes(),
+		PlanTime:           plan,
+		MatTime:            mat,
+		OptimizeCount:      h.srv.OptimizeCount(),
+		UpdateCount:        h.srv.UpdateCount(),
+		ReusePlanned:       h.srv.ReusePlanned(),
+		WarmstartsProposed: h.srv.WarmstartsProposed(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(st)
+}
+
+// trace serves the server-side timeline as Chrome trace_event JSON, ready
+// for chrome://tracing or Perfetto. 404 unless the server was started
+// with tracing enabled (core.WithTracing).
+func (h *Handler) trace(w http.ResponseWriter, _ *http.Request) {
+	tr := h.srv.Trace()
+	if tr == nil {
+		http.Error(w, "tracing disabled on this server", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tr.WriteChrome(w)
 }
 
 // artifactEnvelope wraps the Artifact interface for gob transport.

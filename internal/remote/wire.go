@@ -85,12 +85,24 @@ type UpdateResponse struct {
 	WantContent []string
 }
 
-// Stats summarizes server state for CLI inspection.
+// Stats summarizes server state for CLI inspection: EG/store sizes plus
+// the cumulative optimizer and updater telemetry tracked by internal/obs.
 type Stats struct {
 	Vertices      int
 	Materialized  int
 	PhysicalBytes int64
 	LogicalBytes  int64
+	// PlanTime and MatTime are the accumulated reuse-planning and
+	// materialization-algorithm overheads.
+	PlanTime time.Duration
+	MatTime  time.Duration
+	// OptimizeCount and UpdateCount count served round-trips.
+	OptimizeCount int64
+	UpdateCount   int64
+	// ReusePlanned is the cumulative number of vertices reuse plans chose
+	// to load; WarmstartsProposed counts donors proposed to clients.
+	ReusePlanned       int64
+	WarmstartsProposed int64
 }
 
 // ToWire flattens a workload DAG into wire nodes in topological order.

@@ -64,6 +64,39 @@ type Plan struct {
 	// RecreationCost is the forward-pass cost estimate per vertex in
 	// seconds (diagnostics and tests).
 	RecreationCost map[string]float64
+	// Stats counts the planner's decisions, feeding the server's
+	// observability counters.
+	Stats PlanStats
+}
+
+// PlanStats counts one planning pass's decisions. Planners fill the
+// fields that apply to them; the zero value means "not tracked".
+type PlanStats struct {
+	// CandidateLoads is how many vertices the cost comparison picked for
+	// loading before the backward pass.
+	CandidateLoads int
+	// Pruned is how many load candidates the backward pass dropped as off
+	// the execution path.
+	Pruned int
+	// Computes is how many computable workload vertices (non-source, not
+	// already on the client) the final plan does not cover with a load.
+	Computes int
+}
+
+// planStats derives PlanStats from the pre-prune candidate set and the
+// final reuse set.
+func planStats(w *graph.DAG, candidates, final map[string]bool) PlanStats {
+	st := PlanStats{
+		CandidateLoads: len(candidates),
+		Pruned:         len(candidates) - len(final),
+	}
+	for _, n := range w.Nodes() {
+		if n.IsSource() || n.Computed || n.Kind == graph.SupernodeKind || final[n.ID] {
+			continue
+		}
+		st.Computes++
+	}
+	return st
 }
 
 // Planner generates reuse plans for workload DAGs.
@@ -105,7 +138,8 @@ func (Linear) Plan(w *graph.DAG, costs Costs) *Plan {
 			rec[n.ID] = exec
 		}
 	}
-	return &Plan{Reuse: backwardPrune(w, reuse), RecreationCost: rec}
+	final := backwardPrune(w, reuse)
+	return &Plan{Reuse: final, RecreationCost: rec, Stats: planStats(w, reuse, final)}
 }
 
 // backwardPrune walks from the terminals toward the sources, keeping only
@@ -207,7 +241,8 @@ func (Helix) Plan(w *graph.DAG, costs Costs) *Plan {
 			reuse[node.ID] = true
 		}
 	}
-	return &Plan{Reuse: backwardPrune(w, reuse), RecreationCost: rec}
+	final := backwardPrune(w, reuse)
+	return &Plan{Reuse: final, RecreationCost: rec, Stats: planStats(w, reuse, final)}
 }
 
 // AllMaterialized loads every materialized vertex regardless of cost
@@ -225,7 +260,8 @@ func (AllMaterialized) Plan(w *graph.DAG, costs Costs) *Plan {
 			reuse[n.ID] = true
 		}
 	}
-	return &Plan{Reuse: backwardPrune(w, reuse)}
+	final := backwardPrune(w, reuse)
+	return &Plan{Reuse: final, Stats: planStats(w, reuse, final)}
 }
 
 // AllCompute never reuses anything (§7.4's ALL_C, the no-reuse baseline).
@@ -235,6 +271,7 @@ type AllCompute struct{}
 func (AllCompute) Name() string { return "ALL_C" }
 
 // Plan implements Planner.
-func (AllCompute) Plan(_ *graph.DAG, _ Costs) *Plan {
-	return &Plan{Reuse: map[string]bool{}}
+func (AllCompute) Plan(w *graph.DAG, _ Costs) *Plan {
+	none := map[string]bool{}
+	return &Plan{Reuse: none, Stats: planStats(w, none, none)}
 }

@@ -11,7 +11,22 @@ import (
 	"repro/internal/cost"
 	"repro/internal/data"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
+
+// Metrics holds the manager's optional observability counters. All fields
+// are nil-safe (see internal/obs): an uninstrumented manager pays only a
+// nil check per operation.
+type Metrics struct {
+	// GetHits / GetMisses count lookups by outcome.
+	GetHits, GetMisses *obs.Counter
+	// Puts counts artifacts admitted (no-op re-puts excluded).
+	Puts *obs.Counter
+	// Evictions counts artifacts removed.
+	Evictions *obs.Counter
+	// BytesFetched accumulates the logical size of artifacts served by Get.
+	BytesFetched *obs.Counter
+}
 
 type colEntry struct {
 	col  *data.Column
@@ -36,6 +51,16 @@ type Manager struct {
 	blobSizes map[string]int64
 	physical  int64
 	logical   map[string]int64
+
+	met Metrics
+}
+
+// Instrument installs observability counters on the manager; the zero
+// Metrics value (all nil) returns it to the uninstrumented state.
+func (m *Manager) Instrument(met Metrics) {
+	m.mu.Lock()
+	m.met = met
+	m.mu.Unlock()
 }
 
 // New returns an empty storage manager with the given load-cost profile.
@@ -65,6 +90,7 @@ func (m *Manager) Put(vertexID string, a graph.Artifact) error {
 	if m.hasLocked(vertexID) {
 		return nil
 	}
+	m.met.Puts.Inc()
 	if ds, ok := a.(*graph.DatasetArtifact); ok && ds.Frame != nil {
 		man := manifest{}
 		for _, c := range ds.Frame.Columns() {
@@ -100,6 +126,7 @@ func (m *Manager) Get(vertexID string) graph.Artifact {
 		for i, id := range man.colIDs {
 			e, exists := m.cols[id]
 			if !exists {
+				m.met.GetMisses.Inc()
 				return nil // torn entry; treat as absent
 			}
 			c := e.col
@@ -111,13 +138,19 @@ func (m *Manager) Get(vertexID string) graph.Artifact {
 		}
 		f, err := data.NewFrame(cols...)
 		if err != nil {
+			m.met.GetMisses.Inc()
 			return nil
 		}
+		m.met.GetHits.Inc()
+		m.met.BytesFetched.Add(m.logical[vertexID])
 		return &graph.DatasetArtifact{Frame: f}
 	}
 	if b, ok := m.blobs[vertexID]; ok {
+		m.met.GetHits.Inc()
+		m.met.BytesFetched.Add(m.logical[vertexID])
 		return b
 	}
+	m.met.GetMisses.Inc()
 	return nil
 }
 
@@ -155,6 +188,7 @@ func (m *Manager) Evict(vertexID string) {
 		}
 		delete(m.frames, vertexID)
 		delete(m.logical, vertexID)
+		m.met.Evictions.Inc()
 		return
 	}
 	if _, ok := m.blobs[vertexID]; ok {
@@ -162,6 +196,7 @@ func (m *Manager) Evict(vertexID string) {
 		delete(m.blobs, vertexID)
 		delete(m.blobSizes, vertexID)
 		delete(m.logical, vertexID)
+		m.met.Evictions.Inc()
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/graph"
 	"repro/internal/ml"
+	"repro/internal/obs"
 )
 
 func newTestManager() *Manager { return New(cost.Memory()) }
@@ -169,5 +170,46 @@ func TestRenamedSharedColumn(t *testing.T) {
 	g2 := m.Get("v2").(*graph.DatasetArtifact)
 	if !g2.Frame.HasColumn("z") {
 		t.Errorf("renamed column lost: %v", g2.Frame.ColumnNames())
+	}
+}
+
+func TestStoreMetricsCounters(t *testing.T) {
+	m := New(cost.Memory())
+	reg := obs.NewRegistry()
+	met := Metrics{
+		GetHits:      reg.Counter("hits_total", ""),
+		GetMisses:    reg.Counter("misses_total", ""),
+		Puts:         reg.Counter("puts_total", ""),
+		Evictions:    reg.Counter("evictions_total", ""),
+		BytesFetched: reg.Counter("fetched_bytes_total", ""),
+	}
+	m.Instrument(met)
+
+	blob := &graph.ModelArtifact{Model: nil, Quality: 0.5}
+	if err := m.Put("v1", blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("v1", blob); err != nil { // no-op re-put: not counted
+		t.Fatal(err)
+	}
+	if met.Puts.Value() != 1 {
+		t.Errorf("puts = %d, want 1 (re-put is a no-op)", met.Puts.Value())
+	}
+	if m.Get("v1") == nil {
+		t.Fatal("stored blob should be retrievable")
+	}
+	if m.Get("absent") != nil {
+		t.Fatal("unexpected artifact")
+	}
+	if met.GetHits.Value() != 1 || met.GetMisses.Value() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", met.GetHits.Value(), met.GetMisses.Value())
+	}
+	if met.BytesFetched.Value() != blob.SizeBytes() {
+		t.Errorf("fetched bytes = %d, want %d", met.BytesFetched.Value(), blob.SizeBytes())
+	}
+	m.Evict("v1")
+	m.Evict("v1") // double-evict: not counted
+	if met.Evictions.Value() != 1 {
+		t.Errorf("evictions = %d, want 1", met.Evictions.Value())
 	}
 }
