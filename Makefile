@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fmt-check bench bench-json cover ci
+.PHONY: build vet test race fmt-check lint-logs bench bench-json cover ci
 
 build:
 	$(GO) build ./...
@@ -33,10 +33,21 @@ bench-json:
 	@rm -f BENCH_exec.txt
 	@echo "wrote BENCH_exec.json"
 
+# lint-logs forbids unstructured logging in server-path packages: server
+# logging goes through log/slog so every line can carry the propagated
+# request ID (X-Collab-Request). Tests are exempt.
+LOG_LINT_DIRS = internal/core internal/remote internal/obs internal/explain \
+	internal/reuse internal/materialize internal/eg internal/store
+lint-logs:
+	@out="$$(grep -rn --include='*.go' --exclude='*_test.go' -E '\b(log\.Printf|log\.Println|log\.Fatal|fmt\.Printf|fmt\.Println)\(' $(LOG_LINT_DIRS) || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "unstructured logging in server paths (use log/slog):"; echo "$$out"; exit 1; \
+	fi
+
 # cover runs the full test suite with per-package coverage summaries.
 cover:
 	$(GO) test -cover ./...
 
-# ci is the tier-1 gate: build, vet, formatting, tests with coverage
-# (cover subsumes plain `test`), race tests.
-ci: build vet fmt-check cover race
+# ci is the tier-1 gate: build, vet, formatting, log hygiene, tests with
+# coverage (cover subsumes plain `test`), race tests.
+ci: build vet fmt-check lint-logs cover race

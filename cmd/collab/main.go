@@ -5,17 +5,20 @@
 //
 // Subcommands:
 //
-//	collab stats  -server URL
-//	collab kaggle -server URL -workload N [-repeat K] [-scale S]
-//	collab openml -server URL -n N [-warmstart]
+//	collab stats   -server URL
+//	collab explain -server URL [-format json|text|dot] [-kind optimize|update]
+//	collab kaggle  -server URL -workload N [-repeat K] [-scale S]
+//	collab openml  -server URL -n N [-warmstart]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -36,6 +39,8 @@ func main() {
 	switch cmd {
 	case "stats":
 		err = runStats(args)
+	case "explain":
+		err = runExplain(args)
 	case "kaggle":
 		err = runKaggle(args)
 	case "openml":
@@ -52,11 +57,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: collab <stats|kaggle|openml|run> [flags]
-  stats  -server URL                              show server EG/store state
-  kaggle -server URL -workload N [-repeat K]      run a Table-1 workload
-  openml -server URL -n N [-warmstart]            run OpenML-style pipelines
-  run    -server URL -spec wl.json [-dot out.dot] run a declarative workload
+	fmt.Fprintln(os.Stderr, `usage: collab <stats|explain|kaggle|openml|run> [flags]
+  stats   -server URL                              show server EG/store state
+  explain -server URL [-format json|text|dot]      show the optimizer's last
+          [-kind optimize|update] [-target plan|eg] decision trail
+  kaggle  -server URL -workload N [-repeat K]      run a Table-1 workload
+  openml  -server URL -n N [-warmstart]            run OpenML-style pipelines
+  run     -server URL -spec wl.json [-dot out.dot] run a declarative workload
   workload subcommands also take -trace out.json (Chrome trace of the
   executions) and -metrics-addr :9090 (serve /metrics while running)`)
 	os.Exit(2)
@@ -160,6 +167,38 @@ func runStats(args []string) error {
 	fmt.Printf("store: %.2f MB physical (%.2f MB logical)\n",
 		float64(st.PhysicalBytes)/(1<<20), float64(st.LogicalBytes)/(1<<20))
 	return nil
+}
+
+// runExplain fetches the server's most recent optimizer decision record
+// (GET /v1/explain) and prints it. With -target eg and -format dot it
+// instead renders the whole Experiment Graph annotated with costs and
+// materialization flags.
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:7171", "collabd URL")
+	format := fs.String("format", "text", "output format: json|text|dot")
+	kind := fs.String("kind", "optimize", "record kind: optimize|update")
+	target := fs.String("target", "plan", "plan: the last decision record; eg: the whole Experiment Graph (requires -format dot)")
+	_ = fs.Parse(args)
+
+	u := *server + "/v1/explain?format=" + *format + "&kind=" + *kind
+	if *target == "eg" {
+		u = *server + "/v1/explain?format=" + *format + "&target=eg"
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("explain: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	_, err = os.Stdout.Write(body)
+	return err
 }
 
 func runKaggle(args []string) error {

@@ -4,16 +4,22 @@
 //
 // Usage:
 //
-//	collabd -addr :7171 -budget 1073741824 -strategy sa -planner ln [-trace 65536]
+//	collabd -addr :7171 -budget 1073741824 -strategy sa -planner ln \
+//	        [-trace 65536] [-explain 16] [-pprof]
 //
 // Prometheus-style metrics are always served at /metrics; -trace N keeps a
-// rolling buffer of server spans exported at /v1/trace as Chrome trace JSON.
+// rolling buffer of server spans exported at /v1/trace as Chrome trace JSON;
+// -explain N keeps the last N optimizer decision records exported at
+// /v1/explain; -pprof mounts net/http/pprof under /debug/pprof/.
+//
+// All logging is structured (log/slog); every request-scoped line carries
+// the request_id propagated from the client's X-Collab-Request header.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -23,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/eg"
+	"repro/internal/explain"
 	"repro/internal/materialize"
 	"repro/internal/obs"
 	"repro/internal/persist"
@@ -45,8 +52,18 @@ func main() {
 		pruneFreq  = flag.Int("prune-min-freq", 0, "always keep vertices seen in at least N workloads")
 		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "periodic save interval when -data-dir is set")
 		traceCap   = flag.Int("trace", 0, "buffer up to N server trace events for GET /v1/trace (0: tracing off)")
+		explainCap = flag.Int("explain", 16, "keep the last N optimizer decision records for GET /v1/explain (0: explain off)")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		logLevel   = flag.String("log-level", "info", "log level: debug|info|warn|error")
 	)
 	flag.Parse()
+
+	level, err := logLevelByName(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	prof, err := profileByName(*profile)
 	if err != nil {
@@ -70,6 +87,7 @@ func main() {
 		core.WithStrategy(strat),
 		core.WithPlanner(plan),
 		core.WithWarmstart(*warmstart),
+		core.WithLogger(logger),
 		core.WithPrunePolicy(eg.PrunePolicy{
 			MaxIdleWorkloads: *pruneIdle,
 			MinFrequency:     *pruneFreq,
@@ -78,21 +96,25 @@ func main() {
 	if *traceCap > 0 {
 		srvOpts = append(srvOpts, core.WithTracing(obs.NewTraceCapped(*traceCap)))
 	}
+	if *explainCap > 0 {
+		srvOpts = append(srvOpts, core.WithExplain(explain.NewRecorder(*explainCap)))
+	}
 	srv := core.NewServer(store.New(prof), srvOpts...)
 	if *dataDir != "" {
 		restored, err := persist.Load(srv, *dataDir)
 		if err != nil {
-			log.Fatalf("collabd: restoring state: %v", err)
+			logger.Error("restoring state", "dir", *dataDir, "err", err)
+			os.Exit(1)
 		}
 		if restored {
-			log.Printf("collabd: restored %d vertices, %d materialized artifacts from %s",
-				srv.EG.Len(), srv.Store.Len(), *dataDir)
+			logger.Info("state restored", "dir", *dataDir,
+				"vertices", srv.EG.Len(), "materialized", srv.Store.Len())
 		}
 		save := func(reason string) {
 			if err := persist.Save(srv, *dataDir); err != nil {
-				log.Printf("collabd: save (%s): %v", reason, err)
+				logger.Error("state save failed", "reason", reason, "err", err)
 			} else {
-				log.Printf("collabd: state saved (%s)", reason)
+				logger.Info("state saved", "reason", reason)
 			}
 		}
 		go func() {
@@ -110,10 +132,19 @@ func main() {
 			os.Exit(0)
 		}()
 	}
-	log.Printf("collabd: listening on %s (strategy=%s planner=%s budget=%d alpha=%.2f profile=%s)",
-		*addr, strat.Name(), plan.Name(), *budget, *alpha, prof.Name)
-	log.Printf("collabd: metrics at http://%s/metrics, tracing %s", *addr, traceState(*traceCap))
-	log.Fatal(http.ListenAndServe(*addr, remote.NewHandler(srv)))
+	logger.Info("listening", "addr", *addr, "strategy", strat.Name(),
+		"planner", plan.Name(), "budget", *budget, "alpha", *alpha,
+		"profile", prof.Name)
+	logger.Info("debug surfaces", "metrics", "/metrics",
+		"trace", traceState(*traceCap), "explain", explainState(*explainCap),
+		"pprof", *pprofOn)
+	handler := remote.NewHandler(srv,
+		remote.WithHandlerLogger(logger),
+		remote.WithPprof(*pprofOn))
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
+	}
 }
 
 func traceState(cap int) string {
@@ -121,6 +152,28 @@ func traceState(cap int) string {
 		return fmt.Sprintf("on (%d-event buffer, GET /v1/trace)", cap)
 	}
 	return "off (-trace N to enable)"
+}
+
+func explainState(cap int) string {
+	if cap > 0 {
+		return fmt.Sprintf("on (last %d records, GET /v1/explain)", cap)
+	}
+	return "off (-explain N to enable)"
+}
+
+func logLevelByName(name string) (slog.Level, error) {
+	switch name {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (debug|info|warn|error)", name)
+	}
 }
 
 func profileByName(name string) (cost.Profile, error) {

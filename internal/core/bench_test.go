@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/explain"
 	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/workloads/synth"
@@ -70,4 +71,30 @@ func BenchmarkExecuteTraceOverhead(b *testing.B) {
 			return []ExecOption{WithParallelism(4), WithTrace(obs.NewTrace())}
 		})
 	})
+}
+
+// BenchmarkOptimizeExplainOverhead compares Server.Optimize with explain
+// capture absent (no option), disabled (nil recorder — the WithExplain fast
+// path), and enabled. Absent and disabled must match within noise: the
+// disabled path never builds a record and allocates nothing for explain
+// (allocations are reported; compare disabled against absent).
+func BenchmarkOptimizeExplainOverhead(b *testing.B) {
+	prof := synth.WideProfile{Branches: 8, Depth: 3}
+	run := func(b *testing.B, opts ...ServerOption) {
+		b.Helper()
+		srv := NewServer(store.New(cost.Memory()), opts...)
+		// Seed the EG so the planner has stored artifacts to reason about.
+		if _, err := NewClient(srv).Run(synth.Wide(prof, 1)); err != nil {
+			b.Fatal(err)
+		}
+		w := synth.Wide(prof, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.Optimize(w)
+		}
+	}
+	b.Run("absent", func(b *testing.B) { run(b) })
+	b.Run("disabled", func(b *testing.B) { run(b, WithExplain(nil)) })
+	b.Run("enabled", func(b *testing.B) { run(b, WithExplain(explain.NewRecorder(8))) })
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // ArtifactSource hands the executor artifact content by vertex ID together
@@ -23,6 +24,17 @@ type Optimizer interface {
 	ArtifactSource
 	Optimize(w *graph.DAG) *Optimization
 	Update(executed *graph.DAG)
+}
+
+// RequestOptimizer is implemented by optimizers that accept a
+// client-generated request ID for end-to-end correlation: the in-process
+// *Server tags its logs, spans, and explain records with it; the remote
+// client propagates it over the wire as the X-Collab-Request header.
+// Client.Run generates one ID per workload run and uses these variants
+// when available.
+type RequestOptimizer interface {
+	OptimizeReq(w *graph.DAG, requestID string) *Optimization
+	UpdateReq(executed *graph.DAG, requestID string)
 }
 
 // Client drives one workload through the full pipeline: local pruning,
@@ -45,17 +57,34 @@ type RunResult struct {
 	OptimizeOverhead time.Duration
 	// WarmstartCandidates is how many donors the server proposed.
 	WarmstartCandidates int
+	// RequestID is the correlation ID this run carried through the
+	// optimizer, the executor trace, and the server's logs and explain
+	// records.
+	RequestID string
 }
 
 // Run executes a workload DAG end to end (Figure 2 steps 2–5) and returns
 // the metrics. The DAG's source vertices must carry content.
+//
+// Every run generates a request ID, propagated to the server (in-process
+// or via the X-Collab-Request header) and attached to trace spans, server
+// log lines, and explain records, so one grep correlates the run
+// end-to-end.
 func (c *Client) Run(w *graph.DAG) (*RunResult, error) {
+	rid := obs.NewRequestID()
+
 	// Step 2: local pruning — mark vertices whose content is already on
 	// the client so the optimizer treats them as free.
 	w.MarkComputed()
 
 	// Step 3: server-side optimization.
-	opt := c.srv.Optimize(w)
+	var opt *Optimization
+	ro, reqScoped := c.srv.(RequestOptimizer)
+	if reqScoped {
+		opt = ro.OptimizeReq(w, rid)
+	} else {
+		opt = c.srv.Optimize(w)
+	}
 
 	// Install warmstart donors on the client, which owns the operations.
 	tr := traceOf(c.execOpts)
@@ -78,18 +107,27 @@ func (c *Client) Run(w *graph.DAG) (*RunResult, error) {
 		}
 	}
 
-	// Step 4: execution.
-	res, err := Execute(w, opt.Plan, c.srv, c.execOpts...)
+	// Step 4: execution, tagged with the run's request ID.
+	execOpts := c.execOpts
+	if tr != nil {
+		execOpts = append(append([]ExecOption(nil), c.execOpts...), WithRequestID(rid))
+	}
+	res, err := Execute(w, opt.Plan, c.srv, execOpts...)
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 5: updater.
-	c.srv.Update(w)
+	if reqScoped {
+		ro.UpdateReq(w, rid)
+	} else {
+		c.srv.Update(w)
+	}
 
 	return &RunResult{
 		ExecResult:          *res,
 		OptimizeOverhead:    opt.Overhead,
 		WarmstartCandidates: len(opt.Warmstarts),
+		RequestID:           rid,
 	}, nil
 }

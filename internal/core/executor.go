@@ -49,8 +49,9 @@ type trainOpReporter interface{ LastWarmstarted() bool }
 type ExecOption func(*execConfig)
 
 type execConfig struct {
-	workers int
-	trace   *obs.Trace
+	workers   int
+	trace     *obs.Trace
+	requestID string
 }
 
 // WithParallelism bounds the number of vertices executed concurrently.
@@ -67,6 +68,13 @@ func WithParallelism(n int) ExecOption {
 // Tracing never alters scheduling, so determinism guarantees are unchanged.
 func WithTrace(t *obs.Trace) ExecOption {
 	return func(c *execConfig) { c.trace = t }
+}
+
+// WithRequestID tags the execution's top-level trace span with the run's
+// correlation ID (see obs.RequestIDKey). It only takes effect when a trace
+// recorder is attached; the untraced path is unaffected.
+func WithRequestID(id string) ExecOption {
+	return func(c *execConfig) { c.requestID = id }
 }
 
 // traceOf extracts the recorder an option list carries, for callers (the
@@ -299,11 +307,15 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOpt
 	res.RunTime = res.ComputeTime + res.LoadTime
 	res.WallTime = time.Since(start)
 	if tr != nil {
-		tr.Span("execute", "execute", 0, start, res.WallTime, map[string]any{
+		args := map[string]any{
 			"executed": res.Executed, "reused": res.Reused,
 			"skipped": res.Skipped, "warmstarted": res.Warmstarted,
 			"workers": workers,
-		})
+		}
+		if cfg.requestID != "" {
+			args[obs.RequestIDKey] = cfg.requestID
+		}
+		tr.Span("execute", "execute", 0, start, res.WallTime, args)
 	}
 	return res, nil
 }

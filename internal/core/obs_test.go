@@ -125,10 +125,54 @@ func TestServerMetricsExposition(t *testing.T) {
 		"collab_eg_vertices",
 		"collab_materialize_runs_total 2",
 		"collab_optimize_seconds_count 2",
+		"collab_plan_pruned_vertices_total",
+		"collab_plan_pruned_by_cost_total",
+		"collab_plan_pruned_not_materialized_total",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)
 		}
+	}
+}
+
+// TestTraceBufferGauges: a tracing-enabled server exposes the recorder's
+// occupancy, drop count, and capacity as gauges on /metrics.
+func TestTraceBufferGauges(t *testing.T) {
+	tr := obs.NewTraceCapped(4)
+	srv := NewServer(store.New(cost.Memory()), WithTracing(tr))
+	// Each run emits a handful of server spans; enough runs overflow the
+	// 4-event cap so both occupancy and drop count are exercised.
+	for i := 0; i < 5; i++ {
+		if _, err := NewClient(srv).Run(synth.Wide(*wideWorkload(), 11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	if err := srv.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"collab_trace_buffered_events 4", // capped buffer is full after a run
+		"collab_trace_buffer_capacity 4",
+		"collab_trace_dropped_events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if tr.Dropped() == 0 {
+		t.Error("capped recorder dropped nothing; gauge assertion is vacuous")
+	}
+
+	// Without tracing, the gauges stay unregistered.
+	srv2 := NewServer(store.New(cost.Memory()))
+	b.Reset()
+	if err := srv2.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "collab_trace_buffered_events") {
+		t.Error("trace gauges registered on an untraced server")
 	}
 }
 

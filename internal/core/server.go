@@ -6,10 +6,12 @@
 package core
 
 import (
+	"log/slog"
 	"sync"
 	"time"
 
 	"repro/internal/eg"
+	"repro/internal/explain"
 	"repro/internal/graph"
 	"repro/internal/materialize"
 	"repro/internal/obs"
@@ -45,6 +47,11 @@ type Server struct {
 	// server-side timeline; nil unless WithTracing was given.
 	metrics *serverMetrics
 	trace   *obs.Trace
+	// explain is the opt-in decision-introspection recorder (nil: the
+	// disabled fast path — no record is built, nothing allocates). log is
+	// the structured logger; nil disables server logging.
+	explain *explain.Recorder
+	log     *slog.Logger
 }
 
 // serverMetrics bundles the server's instruments; see DESIGN.md
@@ -63,6 +70,8 @@ type serverMetrics struct {
 	planComputes    *obs.Counter
 	planCandidates  *obs.Counter
 	planPruned      *obs.Counter
+	planPrunedCost  *obs.Counter
+	planPrunedNoMat *obs.Counter
 	warmstartsFound *obs.Counter
 }
 
@@ -86,7 +95,11 @@ func newServerMetrics() *serverMetrics {
 		planCandidates: reg.Counter("collab_plan_reuse_candidates_total",
 			"forward-pass load candidates before backward pruning"),
 		planPruned: reg.Counter("collab_plan_pruned_vertices_total",
-			"load candidates dropped by the backward pass"),
+			"load candidates dropped by the backward pass (off the execution path)"),
+		planPrunedCost: reg.Counter("collab_plan_pruned_by_cost_total",
+			"computable vertices with a loadable artifact rejected because Cl >= recreation cost"),
+		planPrunedNoMat: reg.Counter("collab_plan_pruned_not_materialized_total",
+			"computable vertices with no loadable artifact in EG (Cl infinite)"),
 		warmstartsFound: reg.Counter("collab_warmstart_candidates_total",
 			"warmstart donors proposed to clients"),
 	}
@@ -126,6 +139,23 @@ func WithPrunePolicy(p eg.PrunePolicy) ServerOption {
 // /v1/trace endpoint. Nil (the default) disables tracing entirely.
 func WithTracing(t *obs.Trace) ServerOption {
 	return func(srv *Server) { srv.trace = t }
+}
+
+// WithExplain attaches a decision-introspection recorder: every optimize
+// call records a per-vertex reuse decision trail and every update a
+// per-candidate materialization trail, served by the remote handler's
+// /v1/explain endpoint and the `collab explain` CLI. Nil (the default)
+// disables explain entirely — the hot paths build no records and allocate
+// nothing.
+func WithExplain(r *explain.Recorder) ServerOption {
+	return func(srv *Server) { srv.explain = r }
+}
+
+// WithLogger attaches a structured logger: optimize and update emit one
+// slog line each, tagged with the propagated request ID. Nil (the
+// default) disables server logging.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(srv *Server) { srv.log = l }
 }
 
 // NewServer builds a server around the given store.
@@ -177,6 +207,16 @@ func (s *Server) initMetrics() {
 				"candidates rejected by the load-cost veto (Cl >= Cr)"),
 		})
 	}
+	// Trace-recorder health: without these gauges, drops are only visible
+	// inside the exported trace JSON.
+	if s.trace != nil {
+		reg.GaugeFunc("collab_trace_buffered_events", "events currently in the trace buffer",
+			func() float64 { return float64(s.trace.Len()) })
+		reg.GaugeFunc("collab_trace_dropped_events", "events dropped by the trace buffer cap",
+			func() float64 { return float64(s.trace.Dropped()) })
+		reg.GaugeFunc("collab_trace_buffer_capacity", "trace buffer capacity (0 = unbounded)",
+			func() float64 { return float64(s.trace.Cap()) })
+	}
 }
 
 // Metrics returns the server's observability registry, rendered by the
@@ -186,6 +226,10 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 // Trace returns the server-side trace recorder, or nil when tracing is
 // disabled.
 func (s *Server) Trace() *obs.Trace { return s.trace }
+
+// Explain returns the decision-introspection recorder, or nil when
+// explain capture is disabled.
+func (s *Server) Explain() *explain.Recorder { return s.explain }
 
 // Timings returns the accumulated reuse-planning and materialization
 // overheads under the server lock (safe concurrent read of PlanTime and
@@ -203,6 +247,14 @@ func (s *Server) ReusePlanned() int64 { return s.metrics.planLoads.Value() }
 // WarmstartsProposed returns the cumulative count of warmstart donors
 // proposed.
 func (s *Server) WarmstartsProposed() int64 { return s.metrics.warmstartsFound.Value() }
+
+// PlanPruned returns the cumulative reason-coded counts of vertices reuse
+// plans did not load: off-path (backward-pass drops), by-cost (loadable
+// but Cl >= recreation cost), and not-materialized (no loadable artifact).
+func (s *Server) PlanPruned() (offPath, byCost, notMaterialized int64) {
+	m := s.metrics
+	return m.planPruned.Value(), m.planPrunedCost.Value(), m.planPrunedNoMat.Value()
+}
 
 // OptimizeCount returns how many optimize requests the server served.
 func (s *Server) OptimizeCount() int64 { return s.metrics.optimizeTotal.Value() }
@@ -237,7 +289,13 @@ type Optimization struct {
 
 // Optimize runs the reuse planner on a pruned workload DAG (Figure 2,
 // step 3) and searches warmstart donors for eligible training operations.
-func (s *Server) Optimize(w *graph.DAG) *Optimization {
+func (s *Server) Optimize(w *graph.DAG) *Optimization { return s.OptimizeReq(w, "") }
+
+// OptimizeReq is Optimize carrying a client-generated request ID, attached
+// to the trace span, the log line, and the explain record so one grep
+// correlates the request end-to-end. An empty ID leaves the records
+// untagged.
+func (s *Server) OptimizeReq(w *graph.DAG, requestID string) *Optimization {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
@@ -255,12 +313,31 @@ func (s *Server) Optimize(w *graph.DAG) *Optimization {
 	m.planLoads.Add(int64(len(plan.Reuse)))
 	m.planComputes.Add(int64(plan.Stats.Computes))
 	m.planCandidates.Add(int64(plan.Stats.CandidateLoads))
-	m.planPruned.Add(int64(plan.Stats.Pruned))
+	m.planPruned.Add(int64(plan.Stats.PrunedOffPath))
+	m.planPrunedCost.Add(int64(plan.Stats.PrunedByCost))
+	m.planPrunedNoMat.Add(int64(plan.Stats.PrunedNotMaterialized))
 	m.warmstartsFound.Add(int64(len(ws)))
+	if s.explain != nil {
+		s.explain.Add(explain.BuildOptimize(w, costs, plan, s.planner.Name(), requestID, ws))
+	}
 	if s.trace != nil {
-		s.trace.Span("optimize", "server", 0, start, overhead, map[string]any{
+		args := map[string]any{
 			"vertices": w.Len(), "reuse": len(plan.Reuse), "warmstarts": len(ws),
-		})
+		}
+		if requestID != "" {
+			args[obs.RequestIDKey] = requestID
+		}
+		s.trace.Span("optimize", "server", 0, start, overhead, args)
+	}
+	if s.log != nil {
+		s.log.Info("optimize",
+			slog.String(obs.RequestIDKey, requestID),
+			slog.String("planner", s.planner.Name()),
+			slog.Int("vertices", w.Len()),
+			slog.Int("reuse", len(plan.Reuse)),
+			slog.Int("computes", plan.Stats.Computes),
+			slog.Int("warmstarts", len(ws)),
+			slog.Duration("overhead", overhead))
 	}
 	return &Optimization{Plan: plan, Warmstarts: ws, Overhead: overhead}
 }
@@ -270,7 +347,11 @@ func (s *Server) Optimize(w *graph.DAG) *Optimization {
 // re-runs the materialization strategy under the budget, and applies the
 // selection to the store (storing newly selected artifacts whose content
 // is at hand and evicting deselected ones).
-func (s *Server) Update(executed *graph.DAG) {
+func (s *Server) Update(executed *graph.DAG) { s.UpdateReq(executed, "") }
+
+// UpdateReq is Update carrying a client-generated request ID for
+// correlation (see OptimizeReq).
+func (s *Server) UpdateReq(executed *graph.DAG, requestID string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
@@ -285,12 +366,21 @@ func (s *Server) Update(executed *graph.DAG) {
 			available[n.ID] = n.Content
 		}
 	}
-	s.applySelectionLocked(available, touched)
+	s.applySelectionLocked(available, touched, requestID)
 	s.EG.Prune(s.prune)
 	s.metrics.updateTotal.Inc()
 	if s.trace != nil {
-		s.trace.Span("update", "server", 0, start, time.Since(start),
-			map[string]any{"vertices": executed.Len()})
+		args := map[string]any{"vertices": executed.Len()}
+		if requestID != "" {
+			args[obs.RequestIDKey] = requestID
+		}
+		s.trace.Span("update", "server", 0, start, time.Since(start), args)
+	}
+	if s.log != nil {
+		s.log.Info("update",
+			slog.String(obs.RequestIDKey, requestID),
+			slog.Int("vertices", executed.Len()),
+			slog.Duration("elapsed", time.Since(start)))
 	}
 }
 
@@ -300,6 +390,12 @@ func (s *Server) Update(executed *graph.DAG) {
 // upload via PutArtifact — the newly selected artifacts plus any missing
 // raw sources.
 func (s *Server) UpdateMeta(executed *graph.DAG) (want []string) {
+	return s.UpdateMetaReq(executed, "")
+}
+
+// UpdateMetaReq is UpdateMeta carrying a client-generated request ID for
+// correlation (see OptimizeReq).
+func (s *Server) UpdateMetaReq(executed *graph.DAG, requestID string) (want []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
@@ -309,12 +405,22 @@ func (s *Server) UpdateMeta(executed *graph.DAG) (want []string) {
 	for _, n := range executed.Nodes() {
 		touched = append(touched, n.ID)
 	}
-	want = s.applySelectionLocked(nil, touched)
+	want = s.applySelectionLocked(nil, touched, requestID)
 	s.EG.Prune(s.prune)
 	s.metrics.updateTotal.Inc()
 	if s.trace != nil {
-		s.trace.Span("update-meta", "server", 0, start, time.Since(start),
-			map[string]any{"vertices": executed.Len(), "want": len(want)})
+		args := map[string]any{"vertices": executed.Len(), "want": len(want)}
+		if requestID != "" {
+			args[obs.RequestIDKey] = requestID
+		}
+		s.trace.Span("update-meta", "server", 0, start, time.Since(start), args)
+	}
+	if s.log != nil {
+		s.log.Info("update-meta",
+			slog.String(obs.RequestIDKey, requestID),
+			slog.Int("vertices", executed.Len()),
+			slog.Int("want", len(want)),
+			slog.Duration("elapsed", time.Since(start)))
 	}
 	return want
 }
@@ -335,7 +441,7 @@ func (s *Server) PutArtifact(id string, a graph.Artifact) error {
 // applies it to the store using the contents in available, and returns the
 // desired-but-missing vertex IDs. Strategies supporting the §5.2
 // incremental fast path receive the touched vertex IDs.
-func (s *Server) applySelectionLocked(available map[string]graph.Artifact, touched []string) (want []string) {
+func (s *Server) applySelectionLocked(available map[string]graph.Artifact, touched []string, requestID string) (want []string) {
 	// Task one: every raw source artifact is stored, outside the budget.
 	sources := make(map[string]bool)
 	for _, id := range s.EG.Sources() {
@@ -366,9 +472,16 @@ func (s *Server) applySelectionLocked(available map[string]graph.Artifact, touch
 	s.metrics.matRuns.Inc()
 	s.metrics.matSec.Observe(matElapsed.Seconds())
 	s.metrics.matSelected.Set(float64(len(desired)))
+	if s.explain != nil {
+		s.explain.Add(explain.BuildUpdate(s.EG, s.Store.Profile(), s.strategy.Name(),
+			s.budget, desired, requestID))
+	}
 	if s.trace != nil {
-		s.trace.Span("materialize", "server", 0, start, matElapsed,
-			map[string]any{"selected": len(desired)})
+		args := map[string]any{"selected": len(desired)}
+		if requestID != "" {
+			args[obs.RequestIDKey] = requestID
+		}
+		s.trace.Span("materialize", "server", 0, start, matElapsed, args)
 	}
 
 	desiredSet := make(map[string]bool, len(desired))

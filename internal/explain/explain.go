@@ -1,0 +1,405 @@
+// Package explain is the optimizer's decision-introspection layer: it
+// records, for every optimize and update call, a per-vertex decision trail
+// — the Ci(v)/Cl(v)/Cr(v)/p(v) inputs the reuse planner and materializer
+// saw, and which branch fired, as a reason code — and renders it as
+// deterministic, byte-stable JSON, human-readable text, and Graphviz DOT.
+//
+// The paper's contribution is a chain of decisions (materialize or not,
+// load vs. recompute, warmstart or not); metrics and traces expose only
+// timings and counts. Explain answers *why*: why a vertex was recomputed
+// instead of loaded, why an artifact was vetoed instead of materialized —
+// from a single correlated request record instead of a debugger session.
+package explain
+
+import (
+	"math"
+	"strconv"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/eg"
+	"repro/internal/graph"
+	"repro/internal/reuse"
+)
+
+// Record kinds: one Record per optimizer round-trip.
+const (
+	// KindOptimize records a reuse-planning decision trail.
+	KindOptimize = "optimize"
+	// KindUpdate records a materialization decision trail.
+	KindUpdate = "update"
+)
+
+// Reuse-planner reason codes: one per workload vertex in an optimize
+// record. The vocabulary is documented in DESIGN.md "Explain & logging".
+const (
+	// DecisionReuse: the plan loads this vertex from EG (Cl < exec cost,
+	// survived the backward pass).
+	DecisionReuse = "reuse"
+	// DecisionPrunedOffPath: the forward pass picked the vertex for
+	// loading but the backward pass dropped it as off the execution path.
+	DecisionPrunedOffPath = "pruned-off-path"
+	// DecisionComputeByCost: a stored artifact exists but loading is no
+	// cheaper than recomputing (Cl >= Ci + parent costs).
+	DecisionComputeByCost = "compute-by-cost"
+	// DecisionComputeNotMaterialized: no loadable artifact exists (Cl = ∞
+	// — EG never materialized it).
+	DecisionComputeNotMaterialized = "compute-not-materialized"
+	// DecisionSource: raw source vertex, content already on the client.
+	DecisionSource = "source"
+	// DecisionClientComputed: non-source vertex whose content was already
+	// present on the client (local pruning, Ci = 0).
+	DecisionClientComputed = "client-computed"
+	// DecisionSupernode: multi-input connector; carries no data or
+	// computation (§4.1).
+	DecisionSupernode = "supernode"
+)
+
+// Materializer reason codes: one per eligible EG vertex in an update
+// record.
+const (
+	// MatSelected: the strategy materializes this artifact.
+	MatSelected = "selected"
+	// MatVetoedLoadCost: rejected by the load-cost veto — loading would
+	// be no cheaper than recomputing (Cl >= Cr, Algorithm 1's U(v)=0 rule).
+	MatVetoedLoadCost = "vetoed-load-cost"
+	// MatBudgetExhausted: utility-positive but did not fit the remaining
+	// byte budget.
+	MatBudgetExhausted = "budget-exhausted"
+)
+
+// Cost is a cost input in seconds with deterministic rendering: finite
+// values marshal as JSON numbers via strconv 'g' formatting, +Inf (the
+// paper's "no artifact / never seen" sentinel) as the string "inf".
+type Cost float64
+
+// Inf reports whether the cost is the infinite sentinel.
+func (c Cost) Inf() bool { return math.IsInf(float64(c), 1) }
+
+// String renders the cost in seconds ("0.25", "inf").
+func (c Cost) String() string {
+	if c.Inf() {
+		return "inf"
+	}
+	return strconv.FormatFloat(float64(c), 'g', -1, 64)
+}
+
+// MarshalJSON implements deterministic JSON rendering.
+func (c Cost) MarshalJSON() ([]byte, error) {
+	if c.Inf() {
+		return []byte(`"inf"`), nil
+	}
+	return []byte(c.String()), nil
+}
+
+// VertexDecision is one workload vertex's reuse decision with the cost
+// inputs that produced it.
+type VertexDecision struct {
+	ID      string   `json:"id"`
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"`
+	Parents []string `json:"parents,omitempty"`
+	// ComputeCost is Ci(v) and LoadCost is Cl(v), the §6.1 inputs from
+	// reuse.GatherCosts.
+	ComputeCost Cost `json:"compute_cost_sec"`
+	LoadCost    Cost `json:"load_cost_sec"`
+	// RecreationCost is the forward-pass recreation-cost estimate, when
+	// the planner computes one (Linear and Helix do).
+	RecreationCost *Cost `json:"recreation_cost_sec,omitempty"`
+	// Decision is the reason code (Decision* constants).
+	Decision string `json:"decision"`
+}
+
+// PlanSummary mirrors reuse.PlanStats plus the final reuse count.
+type PlanSummary struct {
+	Vertices              int `json:"vertices"`
+	Reuse                 int `json:"reuse"`
+	CandidateLoads        int `json:"candidate_loads"`
+	PrunedOffPath         int `json:"pruned_off_path"`
+	PrunedByCost          int `json:"pruned_by_cost"`
+	PrunedNotMaterialized int `json:"pruned_not_materialized"`
+	Computes              int `json:"computes"`
+}
+
+// WarmstartDecision records one proposed donor.
+type WarmstartDecision struct {
+	VertexID string  `json:"vertex_id"`
+	DonorID  string  `json:"donor_id"`
+	Quality  float64 `json:"quality"`
+}
+
+// MatDecision is one eligible EG vertex's materialization decision with
+// the Equation-2 inputs that produced it.
+type MatDecision struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	SizeBytes int64  `json:"size_bytes"`
+	Frequency int    `json:"frequency"`
+	// RecreationCost is Cr(v) and LoadCost Cl(v); Potential is p(v), the
+	// best reachable model quality (§5.1).
+	RecreationCost Cost    `json:"recreation_cost_sec"`
+	LoadCost       Cost    `json:"load_cost_sec"`
+	Potential      float64 `json:"potential"`
+	Materialized   bool    `json:"materialized"`
+	// Decision is the reason code (Mat* constants).
+	Decision string `json:"decision"`
+}
+
+// MatSummary aggregates one materialization run.
+type MatSummary struct {
+	Strategy        string `json:"strategy"`
+	BudgetBytes     int64  `json:"budget_bytes"`
+	Eligible        int    `json:"eligible"`
+	Selected        int    `json:"selected"`
+	SelectedBytes   int64  `json:"selected_bytes"`
+	VetoedLoadCost  int    `json:"vetoed_load_cost"`
+	BudgetExhausted int    `json:"budget_exhausted"`
+}
+
+// Record is one optimize or update call's full decision trail. Records
+// are immutable once built; rendering the same record always produces the
+// same bytes (vertices are in deterministic order, maps never iterate at
+// render time).
+type Record struct {
+	// Seq numbers records per recorder, newest highest. 0 until Add.
+	Seq int64 `json:"seq"`
+	// RequestID is the client-generated correlation ID (see
+	// obs.RequestIDHeader); empty when the caller supplied none.
+	RequestID string `json:"request_id,omitempty"`
+	// Kind is "optimize" or "update".
+	Kind string `json:"kind"`
+
+	// Optimize-record fields.
+	Planner    string              `json:"planner,omitempty"`
+	Vertices   []VertexDecision    `json:"vertices,omitempty"`
+	Plan       *PlanSummary        `json:"plan,omitempty"`
+	Warmstarts []WarmstartDecision `json:"warmstarts,omitempty"`
+
+	// Update-record fields.
+	Materialize []MatDecision `json:"materialize,omitempty"`
+	Mat         *MatSummary   `json:"mat,omitempty"`
+}
+
+// BuildOptimize assembles the decision trail of one reuse-planning pass
+// from the planner's inputs (costs) and outputs (plan). Vertices appear in
+// the workload's deterministic topological order.
+func BuildOptimize(w *graph.DAG, costs reuse.Costs, plan *reuse.Plan, planner, requestID string, ws []reuse.WarmstartCandidate) *Record {
+	rec := &Record{
+		Kind:      KindOptimize,
+		RequestID: requestID,
+		Planner:   planner,
+		Plan: &PlanSummary{
+			Vertices:              w.Len(),
+			Reuse:                 len(plan.Reuse),
+			CandidateLoads:        plan.Stats.CandidateLoads,
+			PrunedOffPath:         plan.Stats.PrunedOffPath,
+			PrunedByCost:          plan.Stats.PrunedByCost,
+			PrunedNotMaterialized: plan.Stats.PrunedNotMaterialized,
+			Computes:              plan.Stats.Computes,
+		},
+	}
+	for _, n := range w.TopoOrder() {
+		vd := VertexDecision{
+			ID:          n.ID,
+			Name:        n.Name,
+			Kind:        n.Kind.String(),
+			ComputeCost: Cost(costs.Compute[n.ID]),
+			LoadCost:    Cost(costs.Load[n.ID]),
+			Decision:    decideVertex(n, costs, plan),
+		}
+		for _, p := range n.Parents {
+			vd.Parents = append(vd.Parents, p.ID)
+		}
+		if plan.RecreationCost != nil {
+			if rc, ok := plan.RecreationCost[n.ID]; ok {
+				c := Cost(rc)
+				vd.RecreationCost = &c
+			}
+		}
+		rec.Vertices = append(rec.Vertices, vd)
+	}
+	for _, c := range ws {
+		rec.Warmstarts = append(rec.Warmstarts, WarmstartDecision{
+			VertexID: c.VertexID, DonorID: c.DonorID, Quality: c.Quality,
+		})
+	}
+	return rec
+}
+
+// decideVertex maps one vertex to its reason code; the order mirrors the
+// planner's own branch order (§6.1).
+func decideVertex(n *graph.Node, costs reuse.Costs, plan *reuse.Plan) string {
+	switch {
+	case n.Kind == graph.SupernodeKind:
+		return DecisionSupernode
+	case n.IsSource():
+		return DecisionSource
+	case n.Computed:
+		return DecisionClientComputed
+	case plan.Reuse[n.ID]:
+		return DecisionReuse
+	case plan.Candidates[n.ID]:
+		return DecisionPrunedOffPath
+	case math.IsInf(costs.Load[n.ID], 1):
+		return DecisionComputeNotMaterialized
+	default:
+		return DecisionComputeByCost
+	}
+}
+
+// BuildUpdate assembles the decision trail of one materialization run:
+// every eligible EG vertex with its Equation-2 inputs and whether it was
+// selected, vetoed by the load-cost rule, or dropped by budget exhaustion.
+// Vertices appear sorted by ID. The veto classification applies Algorithm
+// 1's Cl >= Cr rule (materialize.LoadCostVetoed); strategies with a
+// different veto (Helix's Cr <= 2·Cl) still get a faithful selected set,
+// with near-veto candidates classified against the Algorithm-1 rule.
+func BuildUpdate(g *eg.Graph, profile cost.Profile, strategy string, budget int64, selected []string, requestID string) *Record {
+	rec := &Record{
+		Kind:      KindUpdate,
+		RequestID: requestID,
+		Mat: &MatSummary{
+			Strategy:    strategy,
+			BudgetBytes: budget,
+			Selected:    len(selected),
+		},
+	}
+	sel := make(map[string]bool, len(selected))
+	for _, id := range selected {
+		sel[id] = true
+		rec.Mat.SelectedBytes += vertexSize(g, id)
+	}
+	cr := g.RecreationCosts()
+	pot := g.Potentials()
+	for _, v := range g.Vertices() { // sorted by ID
+		if !Eligible(v) {
+			continue
+		}
+		rec.Mat.Eligible++
+		cl := profile.LoadCost(v.SizeBytes)
+		md := MatDecision{
+			ID:             v.ID,
+			Name:           v.Name,
+			SizeBytes:      v.SizeBytes,
+			Frequency:      v.Frequency,
+			RecreationCost: Cost(cr[v.ID].Seconds()),
+			LoadCost:       Cost(cl.Seconds()),
+			Potential:      pot[v.ID],
+			Materialized:   v.Materialized,
+		}
+		switch {
+		case sel[v.ID]:
+			md.Decision = MatSelected
+		case cl >= cr[v.ID]:
+			md.Decision = MatVetoedLoadCost
+			rec.Mat.VetoedLoadCost++
+		default:
+			md.Decision = MatBudgetExhausted
+			rec.Mat.BudgetExhausted++
+		}
+		rec.Materialize = append(rec.Materialize, md)
+	}
+	return rec
+}
+
+// Eligible mirrors the materializer's candidate filter: supernodes carry
+// no data, external artifacts may never be stored (§4.2), and sources are
+// stored unconditionally outside the budget.
+func Eligible(v *eg.Vertex) bool {
+	return v.Kind != graph.SupernodeKind && !v.External && !v.IsSource()
+}
+
+func vertexSize(g *eg.Graph, id string) int64 {
+	if v := g.Vertex(id); v != nil {
+		return v.SizeBytes
+	}
+	return 0
+}
+
+// Recorder keeps the most recent decision records in a bounded ring. All
+// methods are safe for concurrent use; a nil *Recorder records nothing,
+// which is the disabled fast path — callers guard record construction
+// behind a nil check so disabled explain costs zero allocations.
+type Recorder struct {
+	mu   sync.Mutex
+	capN int
+	seq  int64
+	recs []*Record
+}
+
+// DefaultCapacity bounds a NewRecorder(0) ring.
+const DefaultCapacity = 16
+
+// NewRecorder returns a recorder keeping the last n records (n <= 0
+// selects DefaultCapacity).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultCapacity
+	}
+	return &Recorder{capN: n}
+}
+
+// Enabled reports whether the recorder is non-nil.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Add stamps the record's sequence number and appends it, evicting the
+// oldest record beyond capacity.
+func (r *Recorder) Add(rec *Record) {
+	if r == nil || rec == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	rec.Seq = r.seq
+	r.recs = append(r.recs, rec)
+	if len(r.recs) > r.capN {
+		over := len(r.recs) - r.capN
+		r.recs = append(r.recs[:0], r.recs[over:]...)
+	}
+	r.mu.Unlock()
+}
+
+// Last returns the most recent record of the given kind ("optimize" or
+// "update"; "" matches any), or nil.
+func (r *Recorder) Last(kind string) *Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.recs) - 1; i >= 0; i-- {
+		if kind == "" || r.recs[i].Kind == kind {
+			return r.recs[i]
+		}
+	}
+	return nil
+}
+
+// Records returns the retained records, oldest first.
+func (r *Recorder) Records() []*Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Record, len(r.recs))
+	copy(out, r.recs)
+	return out
+}
+
+// ByRequest returns all retained records carrying the given request ID,
+// oldest first — the correlated trail of one workload run.
+func (r *Recorder) ByRequest(id string) []*Record {
+	if r == nil || id == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Record
+	for _, rec := range r.recs {
+		if rec.RequestID == id {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

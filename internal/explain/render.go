@@ -1,0 +1,207 @@
+package explain
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/eg"
+)
+
+// WriteJSON renders the record as indented, byte-stable JSON: struct field
+// order is fixed, vertex slices are pre-sorted at build time, and Cost
+// formatting is deterministic.
+func (r *Record) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText renders the record as a fixed-width human-readable report.
+func (r *Record) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explain %s seq=%d", r.Kind, r.Seq)
+	if r.RequestID != "" {
+		fmt.Fprintf(&b, " request_id=%s", r.RequestID)
+	}
+	b.WriteByte('\n')
+	switch r.Kind {
+	case KindOptimize:
+		r.writeOptimizeText(&b)
+	case KindUpdate:
+		r.writeUpdateText(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (r *Record) writeOptimizeText(b *strings.Builder) {
+	if r.Plan != nil {
+		fmt.Fprintf(b, "planner %s: %d vertices, reuse %d, computes %d (candidates %d, pruned-off-path %d, by-cost %d, not-materialized %d)\n",
+			r.Planner, r.Plan.Vertices, r.Plan.Reuse, r.Plan.Computes,
+			r.Plan.CandidateLoads, r.Plan.PrunedOffPath, r.Plan.PrunedByCost, r.Plan.PrunedNotMaterialized)
+	}
+	fmt.Fprintf(b, "%-26s %10s %10s %10s  %s\n", "DECISION", "Ci(s)", "Cl(s)", "Cr(s)", "VERTEX")
+	for _, v := range r.Vertices {
+		cr := "-"
+		if v.RecreationCost != nil {
+			cr = v.RecreationCost.String()
+		}
+		fmt.Fprintf(b, "%-26s %10s %10s %10s  %s %s\n",
+			v.Decision, v.ComputeCost, v.LoadCost, cr, shortID(v.ID), v.Name)
+	}
+	for _, ws := range r.Warmstarts {
+		fmt.Fprintf(b, "warmstart %s <- donor %s (quality %s)\n",
+			shortID(ws.VertexID), shortID(ws.DonorID), formatFloat(ws.Quality))
+	}
+}
+
+func (r *Record) writeUpdateText(b *strings.Builder) {
+	if r.Mat != nil {
+		fmt.Fprintf(b, "strategy %s: budget %d bytes, eligible %d, selected %d (%d bytes), vetoed-load-cost %d, budget-exhausted %d\n",
+			r.Mat.Strategy, r.Mat.BudgetBytes, r.Mat.Eligible, r.Mat.Selected,
+			r.Mat.SelectedBytes, r.Mat.VetoedLoadCost, r.Mat.BudgetExhausted)
+	}
+	fmt.Fprintf(b, "%-18s %10s %10s %8s %5s %12s  %s\n",
+		"DECISION", "Cr(s)", "Cl(s)", "p(v)", "f", "BYTES", "VERTEX")
+	for _, m := range r.Materialize {
+		fmt.Fprintf(b, "%-18s %10s %10s %8s %5d %12d  %s %s\n",
+			m.Decision, m.RecreationCost, m.LoadCost, formatFloat(m.Potential),
+			m.Frequency, m.SizeBytes, shortID(m.ID), m.Name)
+	}
+}
+
+// decisionFill maps reason codes to Graphviz fill colors; the palette
+// extends graph.WriteDOT's (blue = loaded from EG, green = on the client).
+var decisionFill = map[string]string{
+	DecisionReuse:          "#cce5ff",
+	DecisionSource:         "#e2f0d9",
+	DecisionClientComputed: "#e2f0d9",
+	DecisionPrunedOffPath:  "#d9d9d9",
+	MatSelected:            "#cce5ff",
+	MatVetoedLoadCost:      "#f8cecc",
+	MatBudgetExhausted:     "#fff2cc",
+}
+
+// WriteDOT renders an optimize record's workload DAG annotated with
+// decisions and cost inputs, or an update record's eligible EG subgraph
+// annotated with materialization decisions. Output is deterministic for a
+// given record.
+func (r *Record) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [fontsize=10];\n", "explain-"+r.Kind)
+	switch r.Kind {
+	case KindOptimize:
+		for _, v := range r.Vertices {
+			shape := vertexShape(v.Kind)
+			label := fmt.Sprintf("%s\\n%s\\nCi=%s Cl=%s", v.Name, v.Decision, v.ComputeCost, v.LoadCost)
+			if v.Kind == "supernode" {
+				label = ""
+			}
+			attrs := fmt.Sprintf("shape=%s, label=%s", shape, dotQuote(label))
+			if fill, ok := decisionFill[v.Decision]; ok {
+				attrs += fmt.Sprintf(", style=filled, fillcolor=%q", fill)
+			}
+			fmt.Fprintf(&b, "  %q [%s];\n", shortID(v.ID), attrs)
+		}
+		for _, v := range r.Vertices {
+			for _, p := range v.Parents {
+				fmt.Fprintf(&b, "  %q -> %q;\n", shortID(p), shortID(v.ID))
+			}
+		}
+	case KindUpdate:
+		for _, m := range r.Materialize {
+			label := fmt.Sprintf("%s\\n%s\\nCr=%s Cl=%s f=%d", m.Name, m.Decision, m.RecreationCost, m.LoadCost, m.Frequency)
+			attrs := fmt.Sprintf("shape=box, label=%s", dotQuote(label))
+			if fill, ok := decisionFill[m.Decision]; ok {
+				attrs += fmt.Sprintf(", style=filled, fillcolor=%q", fill)
+			}
+			if m.Materialized {
+				attrs += ", penwidth=2"
+			}
+			fmt.Fprintf(&b, "  %q [%s];\n", shortID(m.ID), attrs)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func vertexShape(kind string) string {
+	switch kind {
+	case "model":
+		return "ellipse"
+	case "aggregate":
+		return "diamond"
+	case "supernode":
+		return "point"
+	}
+	return "box"
+}
+
+// WriteEGDOT renders the whole Experiment Graph as Graphviz DOT annotated
+// with recreation costs, frequencies, sizes, and materialization flags.
+// Vertices are emitted sorted by ID and edges in stored parent order, so
+// output is byte-stable for a given graph (map iteration never reaches the
+// writer).
+func WriteEGDOT(g *eg.Graph, w io.Writer) error {
+	cr := g.RecreationCosts()
+	var b strings.Builder
+	b.WriteString("digraph \"experiment-graph\" {\n  rankdir=TB;\n  node [fontsize=10];\n")
+	vertices := g.Vertices() // sorted by ID
+	for _, v := range vertices {
+		var shape string
+		switch {
+		case v.Kind.String() == "model":
+			shape = "ellipse"
+		case v.Kind.String() == "aggregate":
+			shape = "diamond"
+		case v.Kind.String() == "supernode":
+			shape = "point"
+		default:
+			shape = "box"
+		}
+		label := fmt.Sprintf("%s\\nf=%d Cr=%s s=%dB", v.Name, v.Frequency,
+			Cost(cr[v.ID].Seconds()), v.SizeBytes)
+		if v.Kind.String() == "supernode" {
+			label = ""
+		}
+		attrs := fmt.Sprintf("shape=%s, label=%s", shape, dotQuote(label))
+		if v.Materialized {
+			attrs += `, style=filled, fillcolor="#cce5ff", penwidth=2`
+		}
+		if v.External {
+			attrs += `, style=dashed`
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", shortID(v.ID), attrs)
+	}
+	for _, v := range vertices {
+		for _, p := range v.Parents {
+			fmt.Fprintf(&b, "  %q -> %q;\n", shortID(p), shortID(v.ID))
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// dotQuote quotes a DOT string, escaping only double quotes: label escapes
+// like \n must survive verbatim (fmt's %q would double the backslash and
+// Graphviz would render a literal "\n").
+func dotQuote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+func shortID(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	return id
+}
+
+func formatFloat(v float64) string { return Cost(v).String() }

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// RequestIDKey is the canonical slog attribute key (and JSON field, and
+// trace-span arg) under which a correlated request ID travels, so one grep
+// over structured logs, trace exports, and explain records follows a
+// request end-to-end.
+const RequestIDKey = "request_id"
+
+// RequestIDHeader is the HTTP header carrying a client-generated request
+// ID to the server and the propagated ID back on every /v1/* response.
+const RequestIDHeader = "X-Collab-Request"
+
+// reqCounter backs the fallback request-ID generator when the system
+// entropy source fails (never on supported platforms).
+var reqCounter atomic.Int64
+
+// NewRequestID returns a fresh 16-hex-digit request ID. IDs are generated
+// at the client (one per workload run) and propagated via RequestIDHeader;
+// servers mint one only for requests that arrive without it.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmtCounterID(reqCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func fmtCounterID(n int64) string {
+	var b [8]byte
+	for i := len(b) - 1; i >= 0; i-- {
+		b[i] = byte(n)
+		n >>= 8
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewLogger returns a slog text logger at the given level writing to w —
+// the structured-logging default for server paths (collabd, remote
+// handler, core server). A nil writer yields a logger that discards
+// everything, so call sites need no guards.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	if w == nil {
+		return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}

@@ -106,6 +106,15 @@ func (t *Trace) Len() int {
 	return len(t.events)
 }
 
+// Cap returns the recorder's event capacity, 0 when unbounded. It feeds
+// the buffer-occupancy gauges alongside Len and Dropped.
+func (t *Trace) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return t.max
+}
+
 // Dropped returns how many events the cap discarded.
 func (t *Trace) Dropped() int64 {
 	if t == nil {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/reuse"
 )
 
@@ -31,6 +32,11 @@ type Client struct {
 
 	mu      sync.Mutex
 	lastErr error
+	// rid is the request ID of the run in flight (set by OptimizeReq,
+	// cleared by UpdateReq) so artifact fetches and uploads between the two
+	// carry the same X-Collab-Request header. One run at a time per client;
+	// concurrent runs should use separate clients.
+	rid string
 }
 
 // NewClient builds a client for the server at baseURL (e.g.
@@ -59,8 +65,28 @@ func (c *Client) fail(err error) {
 	c.mu.Unlock()
 }
 
+func (c *Client) setRID(id string) {
+	c.mu.Lock()
+	c.rid = id
+	c.mu.Unlock()
+}
+
+func (c *Client) currentRID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rid
+}
+
 // Optimize implements core.Optimizer.
 func (c *Client) Optimize(w *graph.DAG) *core.Optimization {
+	return c.OptimizeReq(w, "")
+}
+
+// OptimizeReq implements core.RequestOptimizer: the request ID travels as
+// the X-Collab-Request header on this call and on every artifact transfer
+// until UpdateReq closes the run.
+func (c *Client) OptimizeReq(w *graph.DAG, requestID string) *core.Optimization {
+	c.setRID(requestID)
 	opt, err := c.OptimizeE(w)
 	if err != nil {
 		c.fail(err)
@@ -90,6 +116,16 @@ func (c *Client) Update(executed *graph.DAG) {
 	}
 }
 
+// UpdateReq implements core.RequestOptimizer; it closes the run opened by
+// OptimizeReq and clears the in-flight request ID.
+func (c *Client) UpdateReq(executed *graph.DAG, requestID string) {
+	c.setRID(requestID)
+	if err := c.UpdateE(executed); err != nil {
+		c.fail(err)
+	}
+	c.setRID("")
+}
+
 // UpdateE is Update with error reporting.
 func (c *Client) UpdateE(executed *graph.DAG) error {
 	var resp UpdateResponse
@@ -108,9 +144,34 @@ func (c *Client) UpdateE(executed *graph.DAG) error {
 	return nil
 }
 
+// get issues a GET with the in-flight request ID attached, if any.
+func (c *Client) get(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if rid := c.currentRID(); rid != "" {
+		req.Header.Set(obs.RequestIDHeader, rid)
+	}
+	return c.http.Do(req)
+}
+
+// post issues a POST with the in-flight request ID attached, if any.
+func (c *Client) post(url string, body *bytes.Buffer) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if rid := c.currentRID(); rid != "" {
+		req.Header.Set(obs.RequestIDHeader, rid)
+	}
+	return c.http.Do(req)
+}
+
 // Fetch implements core.Optimizer (ArtifactSource).
 func (c *Client) Fetch(id string) graph.Artifact {
-	resp, err := c.http.Get(c.base + "/v1/artifact?id=" + url.QueryEscape(id))
+	resp, err := c.get(c.base + "/v1/artifact?id=" + url.QueryEscape(id))
 	if err != nil {
 		c.fail(err)
 		return nil
@@ -151,7 +212,7 @@ func (c *Client) uploadArtifact(id string, content graph.Artifact) error {
 	if err := gob.NewEncoder(&buf).Encode(&artifactEnvelope{Content: content}); err != nil {
 		return fmt.Errorf("remote: encode artifact %s: %w", id, err)
 	}
-	resp, err := c.http.Post(c.base+"/v1/artifact?id="+url.QueryEscape(id), "application/octet-stream", &buf)
+	resp, err := c.post(c.base+"/v1/artifact?id="+url.QueryEscape(id), &buf)
 	if err != nil {
 		return err
 	}
@@ -167,7 +228,7 @@ func (c *Client) postGob(path string, req, resp any) error {
 	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
 		return fmt.Errorf("remote: encode request: %w", err)
 	}
-	r, err := c.http.Post(c.base+path, "application/octet-stream", &buf)
+	r, err := c.post(c.base+path, &buf)
 	if err != nil {
 		return err
 	}

@@ -1,24 +1,64 @@
 package remote
 
 import (
+	"context"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Handler wraps a core.Server with the HTTP protocol. Mount it on any mux.
+//
+// Every request is tagged with a request ID — the client-sent
+// X-Collab-Request header when present, a freshly minted ID otherwise —
+// which is echoed on the response header, passed to the server's
+// correlated Optimize/Update variants, and attached to the per-request
+// access log line (when a logger is configured).
 type Handler struct {
 	srv *core.Server
 	mux *http.ServeMux
+	log *slog.Logger
+}
+
+// HandlerOption configures the HTTP façade.
+type HandlerOption func(*Handler)
+
+// WithHandlerLogger attaches a structured access logger: one slog line per
+// request with method, path, status, duration, and request ID. Nil (the
+// default) disables access logging.
+func WithHandlerLogger(l *slog.Logger) HandlerOption {
+	return func(h *Handler) { h.log = l }
+}
+
+// WithPprof mounts net/http/pprof's profiling handlers under /debug/pprof/
+// — CPU, heap, goroutine, and friends — for debugging a live server.
+// Off by default: the endpoints expose internals and cost CPU when
+// scraped, so deployments opt in (collabd's -pprof flag).
+func WithPprof(enabled bool) HandlerOption {
+	return func(h *Handler) {
+		if !enabled {
+			return
+		}
+		h.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		h.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		h.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		h.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		h.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // NewHandler builds the HTTP façade over a server.
-func NewHandler(srv *core.Server) *Handler {
+func NewHandler(srv *core.Server, opts ...HandlerOption) *Handler {
 	h := &Handler{srv: srv, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /v1/optimize", h.optimize)
 	h.mux.HandleFunc("POST /v1/update", h.update)
@@ -27,12 +67,55 @@ func NewHandler(srv *core.Server) *Handler {
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
 	h.mux.Handle("GET /metrics", srv.Metrics().Handler())
 	h.mux.HandleFunc("GET /v1/trace", h.trace)
+	h.mux.HandleFunc("GET /v1/explain", h.explain)
+	for _, o := range opts {
+		o(h)
+	}
 	return h
 }
 
-// ServeHTTP implements http.Handler.
+// ridKey carries the request ID through the request context.
+type ridKey struct{}
+
+// requestID extracts the correlation ID the middleware stored.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(ridKey{}).(string)
+	return id
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler: it resolves the request ID, echoes it
+// on the response, and logs the request.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	rid := r.Header.Get(obs.RequestIDHeader)
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, rid)
+	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+	if h.log == nil {
+		h.mux.ServeHTTP(w, r)
+		return
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	h.mux.ServeHTTP(sw, r)
+	h.log.Info("http",
+		slog.String(obs.RequestIDKey, rid),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+		slog.Duration("elapsed", time.Since(start)))
 }
 
 func (h *Handler) optimize(w http.ResponseWriter, r *http.Request) {
@@ -42,7 +125,7 @@ func (h *Handler) optimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dag := FromWire(req.Nodes)
-	opt := h.srv.Optimize(dag)
+	opt := h.srv.OptimizeReq(dag, requestID(r))
 	resp := OptimizeResponse{Warmstarts: opt.Warmstarts, Overhead: opt.Overhead}
 	for id := range opt.Plan.Reuse {
 		resp.ReuseIDs = append(resp.ReuseIDs, id)
@@ -59,7 +142,7 @@ func (h *Handler) update(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dag := FromWire(req.Nodes)
-	want := h.srv.UpdateMeta(dag)
+	want := h.srv.UpdateMetaReq(dag, requestID(r))
 	// Record column lineage (dedup accounting) and model kinds (warmstart
 	// donor matching), which travel outside the artifact content.
 	for _, wn := range req.Nodes {
@@ -120,8 +203,62 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		ReusePlanned:       h.srv.ReusePlanned(),
 		WarmstartsProposed: h.srv.WarmstartsProposed(),
 	}
+	st.PlanPrunedOffPath, st.PlanPrunedByCost, st.PlanPrunedNotMaterialized = h.srv.PlanPruned()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(st)
+}
+
+// explain serves the most recent decision record. Query parameters:
+//
+//	kind=optimize|update  which record (default optimize)
+//	format=json|text|dot  rendering (default json)
+//	target=eg             with format=dot, render the whole Experiment
+//	                      Graph annotated with costs instead of a record
+//
+// 404 unless the server was started with explain capture enabled
+// (core.WithExplain) and at least one matching record exists.
+func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
+	rec := h.srv.Explain()
+	if !rec.Enabled() {
+		http.Error(w, "explain disabled on this server", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if q.Get("target") == "eg" {
+		if format != "dot" {
+			http.Error(w, "target=eg requires format=dot", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		explain.WriteEGDOT(h.srv.EG, w)
+		return
+	}
+	kind := q.Get("kind")
+	if kind == "" {
+		kind = explain.KindOptimize
+	}
+	record := rec.Last(kind)
+	if record == nil {
+		http.Error(w, "no explain record of kind "+kind, http.StatusNotFound)
+		return
+	}
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = record.WriteJSON(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		record.WriteText(w)
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		record.WriteDOT(w)
+	default:
+		http.Error(w, "unknown format "+format, http.StatusBadRequest)
+	}
 }
 
 // trace serves the server-side timeline as Chrome trace_event JSON, ready

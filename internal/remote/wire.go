@@ -103,6 +103,13 @@ type Stats struct {
 	// to load; WarmstartsProposed counts donors proposed to clients.
 	ReusePlanned       int64
 	WarmstartsProposed int64
+	// Reason-coded split of vertices reuse plans did not load: dropped by
+	// the backward pass (off the execution path), rejected because loading
+	// was no cheaper than recomputing, or unloadable because EG never
+	// materialized them.
+	PlanPrunedOffPath         int64
+	PlanPrunedByCost          int64
+	PlanPrunedNotMaterialized int64
 }
 
 // ToWire flattens a workload DAG into wire nodes in topological order.

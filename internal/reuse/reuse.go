@@ -61,6 +61,11 @@ type Plan struct {
 	// Reuse holds the final (backward-pruned) set Rp of vertex IDs to
 	// load from the Experiment Graph.
 	Reuse map[string]bool
+	// Candidates holds the pre-backward-pass load candidate set: every
+	// vertex the cost comparison picked for loading. Candidates minus
+	// Reuse is what the backward pass dropped — the explain layer turns
+	// this into per-vertex reason codes.
+	Candidates map[string]bool
 	// RecreationCost is the forward-pass cost estimate per vertex in
 	// seconds (diagnostics and tests).
 	RecreationCost map[string]float64
@@ -69,32 +74,49 @@ type Plan struct {
 	Stats PlanStats
 }
 
-// PlanStats counts one planning pass's decisions. Planners fill the
-// fields that apply to them; the zero value means "not tracked".
+// PlanStats counts one planning pass's decisions, reason-coded so the
+// split is visible in /v1/stats and /metrics. Planners fill the fields
+// that apply to them; the zero value means "not tracked".
 type PlanStats struct {
 	// CandidateLoads is how many vertices the cost comparison picked for
 	// loading before the backward pass.
 	CandidateLoads int
-	// Pruned is how many load candidates the backward pass dropped as off
-	// the execution path.
-	Pruned int
+	// PrunedOffPath is how many load candidates the backward pass dropped
+	// as off the execution path (reason code "pruned-off-path").
+	PrunedOffPath int
+	// PrunedByCost is how many computable vertices had a loadable
+	// artifact (finite Cl) that the cost comparison rejected because
+	// recomputing was no more expensive (reason code "compute-by-cost").
+	PrunedByCost int
+	// PrunedNotMaterialized is how many computable vertices had no
+	// loadable artifact at all — Cl = ∞ because EG never materialized
+	// them (reason code "compute-not-materialized").
+	PrunedNotMaterialized int
 	// Computes is how many computable workload vertices (non-source, not
 	// already on the client) the final plan does not cover with a load.
 	Computes int
 }
 
-// planStats derives PlanStats from the pre-prune candidate set and the
-// final reuse set.
-func planStats(w *graph.DAG, candidates, final map[string]bool) PlanStats {
+// planStats derives reason-coded PlanStats from the per-vertex costs, the
+// pre-prune candidate set, and the final reuse set.
+func planStats(w *graph.DAG, costs Costs, candidates, final map[string]bool) PlanStats {
 	st := PlanStats{
 		CandidateLoads: len(candidates),
-		Pruned:         len(candidates) - len(final),
+		PrunedOffPath:  len(candidates) - len(final),
 	}
 	for _, n := range w.Nodes() {
 		if n.IsSource() || n.Computed || n.Kind == graph.SupernodeKind || final[n.ID] {
 			continue
 		}
 		st.Computes++
+		if candidates[n.ID] {
+			continue // counted in PrunedOffPath
+		}
+		if math.IsInf(costs.Load[n.ID], 1) {
+			st.PrunedNotMaterialized++
+		} else {
+			st.PrunedByCost++
+		}
 	}
 	return st
 }
@@ -139,7 +161,7 @@ func (Linear) Plan(w *graph.DAG, costs Costs) *Plan {
 		}
 	}
 	final := backwardPrune(w, reuse)
-	return &Plan{Reuse: final, RecreationCost: rec, Stats: planStats(w, reuse, final)}
+	return &Plan{Reuse: final, Candidates: reuse, RecreationCost: rec, Stats: planStats(w, costs, reuse, final)}
 }
 
 // backwardPrune walks from the terminals toward the sources, keeping only
@@ -242,7 +264,7 @@ func (Helix) Plan(w *graph.DAG, costs Costs) *Plan {
 		}
 	}
 	final := backwardPrune(w, reuse)
-	return &Plan{Reuse: final, RecreationCost: rec, Stats: planStats(w, reuse, final)}
+	return &Plan{Reuse: final, Candidates: reuse, RecreationCost: rec, Stats: planStats(w, costs, reuse, final)}
 }
 
 // AllMaterialized loads every materialized vertex regardless of cost
@@ -261,7 +283,7 @@ func (AllMaterialized) Plan(w *graph.DAG, costs Costs) *Plan {
 		}
 	}
 	final := backwardPrune(w, reuse)
-	return &Plan{Reuse: final, Stats: planStats(w, reuse, final)}
+	return &Plan{Reuse: final, Candidates: reuse, Stats: planStats(w, costs, reuse, final)}
 }
 
 // AllCompute never reuses anything (§7.4's ALL_C, the no-reuse baseline).
@@ -271,7 +293,7 @@ type AllCompute struct{}
 func (AllCompute) Name() string { return "ALL_C" }
 
 // Plan implements Planner.
-func (AllCompute) Plan(w *graph.DAG, _ Costs) *Plan {
+func (AllCompute) Plan(w *graph.DAG, costs Costs) *Plan {
 	none := map[string]bool{}
-	return &Plan{Reuse: none, Stats: planStats(w, none, none)}
+	return &Plan{Reuse: none, Candidates: none, Stats: planStats(w, costs, none, none)}
 }
