@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fmt-check lint-logs bench bench-json cover ci
+.PHONY: build vet test race fmt-check lint-logs bench bench-json bench-store fuzz cover ci
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,23 @@ bench-json:
 		END { print "\n]" }' BENCH_exec.txt > BENCH_exec.json
 	@rm -f BENCH_exec.txt
 	@echo "wrote BENCH_exec.json"
+
+# bench-store benchmarks the tiered store (demote/promote spill paths and
+# disk-fetch vs recompute) into BENCH_store.json.
+bench-store:
+	@$(GO) test -run=NONE -bench='Demote|Promote|DiskFetch' -benchtime=20x \
+		./internal/store/ > BENCH_store.txt
+	@awk 'BEGIN { print "[" } \
+		/^Benchmark/ { if (n++) printf ",\n"; \
+			printf "  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s}", $$1, $$2, $$3 } \
+		END { print "\n]" }' BENCH_store.txt > BENCH_store.json
+	@rm -f BENCH_store.txt
+	@echo "wrote BENCH_store.json"
+
+# fuzz replays the committed seed corpus and explores the on-disk column
+# codec for a short budget (corruption must never decode successfully).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzColumnCodec -fuzztime=10s ./internal/tier/
 
 # lint-logs forbids unstructured logging in server-path packages: server
 # logging goes through log/slog so every line can carry the propagated

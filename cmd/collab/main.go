@@ -24,8 +24,11 @@ import (
 	"repro/internal/cost"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/remote"
 	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/tier"
 	"repro/internal/workloads/kaggle"
 	"repro/internal/workloads/openml"
 )
@@ -65,12 +68,64 @@ func usage() {
   openml  -server URL -n N [-warmstart]            run OpenML-style pipelines
   run     -server URL -spec wl.json [-dot out.dot] run a declarative workload
   workload subcommands also take -trace out.json (Chrome trace of the
-  executions) and -metrics-addr :9090 (serve /metrics while running)`)
+  executions), -metrics-addr :9090 (serve /metrics while running), and
+  -store-dir DIR (run locally against a persistent tiered store instead
+  of a server; artifacts survive across invocations)`)
 	os.Exit(2)
 }
 
 func newRemote(serverURL string) *remote.Client {
 	return remote.NewClient(serverURL, cost.Remote())
+}
+
+// target is the optimizer a workload subcommand runs against: a remote
+// collabd (the default), or — with -store-dir — an in-process server whose
+// artifact store persists under the directory, so successive local CLI
+// invocations accumulate reusable state without a daemon.
+type target struct {
+	opt core.Optimizer
+	rc  *remote.Client // nil in local mode
+	srv *core.Server   // nil in remote mode
+	dir string
+}
+
+func newTarget(serverURL, storeDir string) (*target, error) {
+	if storeDir == "" {
+		rc := newRemote(serverURL)
+		return &target{opt: rc, rc: rc}, nil
+	}
+	disk, report, err := tier.Open(storeDir)
+	if err != nil {
+		return nil, fmt.Errorf("store-dir: %w", err)
+	}
+	st := store.NewTiered(cost.Memory(), store.Options{Disk: disk})
+	srv := core.NewServer(st, core.WithWarmstart(true))
+	if _, err := persist.Load(srv, storeDir); err != nil {
+		return nil, fmt.Errorf("store-dir: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "local store %s: %d artifacts (%d vertices in EG, %d files quarantined)\n",
+		storeDir, srv.Store.Len(), srv.EG.Len(), report.Quarantined)
+	return &target{opt: srv, srv: srv, dir: storeDir}, nil
+}
+
+// err surfaces transport failures in remote mode; local mode has none.
+func (t *target) err() error {
+	if t.rc != nil {
+		return t.rc.Err()
+	}
+	return nil
+}
+
+// close persists local-mode state: the memory tier drains into the durable
+// disk tier and the EG snapshot is saved beside it.
+func (t *target) close() error {
+	if t.srv == nil {
+		return nil
+	}
+	if err := t.srv.Store.FlushToDisk(); err != nil {
+		return fmt.Errorf("store-dir: flush: %w", err)
+	}
+	return persist.Save(t.srv, t.dir)
 }
 
 // obsFlags bundles the client-side observability options shared by the
@@ -166,6 +221,8 @@ func runStats(args []string) error {
 	fmt.Printf("experiment graph: %d vertices, %d materialized\n", st.Vertices, st.Materialized)
 	fmt.Printf("store: %.2f MB physical (%.2f MB logical)\n",
 		float64(st.PhysicalBytes)/(1<<20), float64(st.LogicalBytes)/(1<<20))
+	fmt.Printf("tiers: %.2f MB memory, %.2f MB disk\n",
+		float64(st.MemoryBytes)/(1<<20), float64(st.DiskBytes)/(1<<20))
 	return nil
 }
 
@@ -208,6 +265,7 @@ func runKaggle(args []string) error {
 	repeat := fs.Int("repeat", 1, "times to run (repeats exercise reuse)")
 	scale := fs.Int("scale", 1, "data scale factor")
 	seed := fs.Int64("seed", 42, "data seed")
+	storeDir := fs.String("store-dir", "", "run against a local persistent store instead of -server")
 	of := registerObsFlags(fs)
 	_ = fs.Parse(args)
 	opts, err := of.start()
@@ -217,8 +275,16 @@ func runKaggle(args []string) error {
 	defer of.flush()
 
 	sources := kaggle.Generate(kaggle.Config{Scale: *scale, Seed: *seed})
-	rc := newRemote(*server)
-	client := core.NewClient(rc, opts...)
+	tg, err := newTarget(*server, *storeDir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := tg.close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "collab:", cerr)
+		}
+	}()
+	client := core.NewClient(tg.opt, opts...)
 	for _, wl := range kaggle.AllWorkloads() {
 		if *workload != 0 && wl.ID != *workload {
 			continue
@@ -228,7 +294,7 @@ func runKaggle(args []string) error {
 			if err != nil {
 				return fmt.Errorf("workload %d run %d: %w", wl.ID, r, err)
 			}
-			if terr := rc.Err(); terr != nil {
+			if terr := tg.err(); terr != nil {
 				return fmt.Errorf("workload %d run %d transport: %w", wl.ID, r, terr)
 			}
 			of.record(res)
@@ -246,6 +312,7 @@ func runSpec(args []string) error {
 	server := fs.String("server", "http://localhost:7171", "collabd URL")
 	specPath := fs.String("spec", "", "path to the JSON workload spec")
 	dotPath := fs.String("dot", "", "write the executed DAG as Graphviz DOT to this file")
+	storeDir := fs.String("store-dir", "", "run against a local persistent store instead of -server")
 	of := registerObsFlags(fs)
 	_ = fs.Parse(args)
 	if *specPath == "" {
@@ -268,12 +335,20 @@ func runSpec(args []string) error {
 	if err != nil {
 		return err
 	}
-	rc := newRemote(*server)
-	res, err := core.NewClient(rc, opts...).Run(dag)
+	tg, err := newTarget(*server, *storeDir)
 	if err != nil {
 		return err
 	}
-	if terr := rc.Err(); terr != nil {
+	defer func() {
+		if cerr := tg.close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "collab:", cerr)
+		}
+	}()
+	res, err := core.NewClient(tg.opt, opts...).Run(dag)
+	if err != nil {
+		return err
+	}
+	if terr := tg.err(); terr != nil {
 		return fmt.Errorf("transport: %w", terr)
 	}
 	of.record(res)
@@ -307,6 +382,7 @@ func runOpenML(args []string) error {
 	server := fs.String("server", "http://localhost:7171", "collabd URL")
 	n := fs.Int("n", 20, "number of pipelines to run")
 	warm := fs.Bool("warmstart", false, "request warmstarting")
+	storeDir := fs.String("store-dir", "", "run against a local persistent store instead of -server")
 	of := registerObsFlags(fs)
 	_ = fs.Parse(args)
 	opts, err := of.start()
@@ -318,15 +394,23 @@ func runOpenML(args []string) error {
 	cfg := openml.DefaultConfig()
 	frame := openml.GenerateDataset(cfg)
 	pipes := openml.SamplePipelines(cfg, *n, *warm)
-	rc := newRemote(*server)
-	client := core.NewClient(rc, opts...)
+	tg, err := newTarget(*server, *storeDir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := tg.close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "collab:", cerr)
+		}
+	}()
+	client := core.NewClient(tg.opt, opts...)
 	for i, p := range pipes {
 		w := p.Build(frame)
 		res, err := client.Run(w)
 		if err != nil {
 			return fmt.Errorf("pipeline %d (%s): %w", i, p, err)
 		}
-		if terr := rc.Err(); terr != nil {
+		if terr := tg.err(); terr != nil {
 			return fmt.Errorf("pipeline %d transport: %w", i, terr)
 		}
 		of.record(res)

@@ -5,7 +5,14 @@
 // Usage:
 //
 //	collabd -addr :7171 -budget 1073741824 -strategy sa -planner ln \
+//	        [-store-dir /var/lib/collab -mem-budget 268435456 -disk-budget 0] \
 //	        [-trace 65536] [-explain 16] [-pprof]
+//
+// -store-dir enables the durable artifact tier: cold artifacts demote to
+// checksummed, content-addressed files when the -mem-budget is exceeded (or
+// after -demote-idle of inactivity) and are verified and re-indexed on the
+// next boot, so a restart serves them without recomputation. The EG
+// snapshot defaults into the same directory when -data-dir is unset.
 //
 // Prometheus-style metrics are always served at /metrics; -trace N keeps a
 // rolling buffer of server spans exported at /v1/trace as Chrome trace JSON;
@@ -36,6 +43,7 @@ import (
 	"repro/internal/remote"
 	"repro/internal/reuse"
 	"repro/internal/store"
+	"repro/internal/tier"
 )
 
 func main() {
@@ -47,7 +55,11 @@ func main() {
 		alpha      = flag.Float64("alpha", 0.5, "utility weight of model quality (0..1)")
 		profile    = flag.String("profile", "memory", "storage profile: memory|disk|remote")
 		warmstart  = flag.Bool("warmstart", true, "enable warmstart donor search")
-		dataDir    = flag.String("data-dir", "", "directory for persistent state (empty: in-memory only)")
+		dataDir    = flag.String("data-dir", "", "directory for persistent state (empty: -store-dir, else in-memory only)")
+		storeDir   = flag.String("store-dir", "", "directory for the durable artifact tier (empty: memory-only store)")
+		memBudget  = flag.Int64("mem-budget", 0, "memory-tier byte budget; cold artifacts demote to -store-dir (0: unbounded)")
+		diskBudget = flag.Int64("disk-budget", 0, "disk-tier byte budget; coldest artifacts evict for real (0: unbounded)")
+		demoteIdle = flag.Duration("demote-idle", 0, "demote artifacts idle this long to the disk tier (0: only on budget pressure)")
 		pruneIdle  = flag.Int("prune-idle", 0, "drop unmaterialized vertices idle for N workloads (0: never)")
 		pruneFreq  = flag.Int("prune-min-freq", 0, "always keep vertices seen in at least N workloads")
 		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "periodic save interval when -data-dir is set")
@@ -99,7 +111,37 @@ func main() {
 	if *explainCap > 0 {
 		srvOpts = append(srvOpts, core.WithExplain(explain.NewRecorder(*explainCap)))
 	}
-	srv := core.NewServer(store.New(prof), srvOpts...)
+	stOpts := store.Options{MemoryBudget: *memBudget, DiskBudget: *diskBudget}
+	if *storeDir != "" {
+		disk, report, err := tier.Open(*storeDir)
+		if err != nil {
+			logger.Error("opening store dir", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+		stOpts.Disk = disk
+		logger.Info("store recovered", "dir", *storeDir,
+			"frames", report.Frames, "blobs", report.Blobs, "columns", report.Columns,
+			"bytes_verified", report.BytesVerified,
+			"quarantined", report.Quarantined, "orphans", report.OrphanColumns)
+		if *dataDir == "" {
+			// Keep the EG snapshot next to the artifacts it indexes.
+			*dataDir = *storeDir
+		}
+	} else if *memBudget > 0 {
+		logger.Warn("-mem-budget without -store-dir hard-evicts cold artifacts (no disk tier to demote to)")
+	}
+	srv := core.NewServer(store.NewTiered(prof, stOpts), srvOpts...)
+	if *storeDir != "" && *demoteIdle > 0 {
+		go func() {
+			ticker := time.NewTicker(*demoteIdle)
+			defer ticker.Stop()
+			for range ticker.C {
+				if n := srv.Store.DemoteIdle(*demoteIdle); n > 0 {
+					logger.Info("idle artifacts demoted to disk", "count", n)
+				}
+			}
+		}()
+	}
 	if *dataDir != "" {
 		restored, err := persist.Load(srv, *dataDir)
 		if err != nil {
@@ -128,6 +170,13 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sig
+			if *storeDir != "" {
+				// Drain the memory tier so every artifact is durable in the
+				// checksummed tier files, not just in the gob snapshot.
+				if err := srv.Store.FlushToDisk(); err != nil {
+					logger.Error("store flush failed", "err", err)
+				}
+			}
 			save("shutdown")
 			os.Exit(0)
 		}()

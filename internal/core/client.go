@@ -17,6 +17,16 @@ type ArtifactSource interface {
 	LoadCostOf(sizeBytes int64) time.Duration
 }
 
+// TieredFetcher is implemented by artifact sources that know which storage
+// tier serves each artifact. FetchTiered returns the content (nil when
+// unavailable), the label of the serving tier ("memory", "disk", "remote"),
+// and the modeled retrieval cost priced for that tier. The executor prefers
+// it over Fetch/LoadCostOf so fetch spans and load costs reflect the
+// artifact's actual location.
+type TieredFetcher interface {
+	FetchTiered(id string) (graph.Artifact, string, time.Duration)
+}
+
 // Optimizer is the server interface the client speaks: in-process (*Server)
 // or over HTTP (*RemoteClient). Both implement the optimize/update
 // round-trip of Figure 2 plus artifact retrieval.

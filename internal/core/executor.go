@@ -336,7 +336,15 @@ func runVertex(s *vexec, src ArtifactSource, tr *obs.Trace, wid int) error {
 		if tr != nil {
 			fetchStart = time.Now()
 		}
-		content := src.Fetch(n.ID)
+		var content graph.Artifact
+		var tierLabel string
+		if tf, ok := src.(TieredFetcher); ok {
+			// Tier-aware source: the load cost is priced for the tier that
+			// actually served the bytes (memory, disk, remote).
+			content, tierLabel, s.loadCost = tf.FetchTiered(n.ID)
+		} else {
+			content = src.Fetch(n.ID)
+		}
 		if content == nil {
 			if tr != nil {
 				tr.Instant(n.Name, "error", wid, map[string]any{"vertex": n.ID, "missing": true})
@@ -349,13 +357,19 @@ func runVertex(s *vexec, src ArtifactSource, tr *obs.Trace, wid int) error {
 		if ma, ok := content.(*graph.ModelArtifact); ok {
 			n.Quality = ma.Quality
 		}
-		s.loadCost = src.LoadCostOf(n.SizeBytes)
+		if tierLabel == "" {
+			s.loadCost = src.LoadCostOf(n.SizeBytes)
+		}
 		s.reused = true
 		if tr != nil {
-			tr.Span(n.Name, "fetch", wid, fetchStart, time.Since(fetchStart), map[string]any{
+			args := map[string]any{
 				"vertex": n.ID, "reuse": true, "bytes": n.SizeBytes,
 				"load_cost_ms": float64(s.loadCost.Microseconds()) / 1e3,
-			})
+			}
+			if tierLabel != "" {
+				args["tier"] = tierLabel
+			}
+			tr.Span(n.Name, "fetch", wid, fetchStart, time.Since(fetchStart), args)
 		}
 	case n.Kind == graph.SupernodeKind:
 		// Supernodes carry no data and no computation.

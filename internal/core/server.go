@@ -192,11 +192,24 @@ func (s *Server) initMetrics() {
 		func() float64 { return float64(s.Store.PhysicalBytes()) })
 	reg.GaugeFunc("collab_store_logical_bytes", "bytes stored before deduplication",
 		func() float64 { return float64(s.Store.LogicalBytes()) })
+	reg.GaugeFunc("collab_store_memory_bytes", "deduplicated bytes resident in the memory tier",
+		func() float64 { return float64(s.Store.MemoryBytes()) })
+	reg.GaugeFunc("collab_store_disk_bytes", "deduplicated bytes resident in the disk tier",
+		func() float64 { return float64(s.Store.DiskBytes()) })
 	s.Store.Instrument(store.Metrics{
-		GetHits:      reg.Counter("collab_store_get_hits_total", "store lookups that found content"),
-		GetMisses:    reg.Counter("collab_store_get_misses_total", "store lookups that missed"),
-		Puts:         reg.Counter("collab_store_puts_total", "artifacts admitted to the store"),
-		Evictions:    reg.Counter("collab_store_evictions_total", "artifacts evicted from the store"),
+		GetHits:   reg.Counter("collab_store_get_hits_total", "store lookups that found content"),
+		GetMisses: reg.Counter("collab_store_get_misses_total", "store lookups that missed"),
+		DiskHits:  reg.Counter("collab_store_disk_hits_total", "store lookups served by the disk tier"),
+		Puts:      reg.Counter("collab_store_puts_total", "artifacts admitted to the store"),
+		Evictions: reg.Counter("collab_store_evictions_total", "artifacts evicted from the store"),
+		Demotions: reg.Counter("collab_store_demotions_total",
+			"artifacts demoted memory → disk by budget pressure or idle sweeps"),
+		Promotions: reg.Counter("collab_store_promotions_total",
+			"artifacts promoted disk → memory on access"),
+		DiskEvictions: reg.Counter("collab_store_disk_evictions_total",
+			"artifacts evicted from the disk tier by its budget"),
+		ChecksumFailures: reg.Counter("collab_store_checksum_failures_total",
+			"disk reads rejected by checksum verification (files quarantined)"),
 		BytesFetched: reg.Counter("collab_store_fetched_bytes_total", "logical bytes served by store lookups"),
 	})
 	if ins, ok := s.strategy.(materialize.Instrumentable); ok {
@@ -271,6 +284,25 @@ func (s *Server) Fetch(id string) graph.Artifact { return s.Store.Get(id) }
 // LoadCostOf implements ArtifactSource using the store's cost profile.
 func (s *Server) LoadCostOf(sizeBytes int64) time.Duration {
 	return s.Store.Profile().LoadCost(sizeBytes)
+}
+
+// FetchTiered implements TieredFetcher: the returned load cost is priced
+// with the profile of the tier that actually served the artifact (a disk
+// hit costs disk speed even though the access also promotes the artifact
+// into memory).
+func (s *Server) FetchTiered(id string) (graph.Artifact, string, time.Duration) {
+	a, tr := s.Store.GetTiered(id)
+	if a == nil {
+		return nil, "", 0
+	}
+	return a, tr.String(), s.Store.TierProfile(tr).LoadCost(a.SizeBytes())
+}
+
+// PeekArtifact returns stored content and its tier without promoting it or
+// disturbing the LRU order. Remote artifact transfers and the snapshotter
+// read through it so serving a cold artifact does not displace the hot set.
+func (s *Server) PeekArtifact(id string) (graph.Artifact, store.Tier) {
+	return s.Store.Peek(id)
 }
 
 // Strategy returns the active materialization strategy.

@@ -1,0 +1,210 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/store"
+	"repro/internal/tier"
+)
+
+func isTorn(err error) bool { return errors.Is(err, ErrTorn) }
+
+// newTieredServer opens the disk tier under dir and builds a server whose
+// store demotes to it under the given memory budget.
+func newTieredServer(t *testing.T, dir string, memBudget int64) (*core.Server, *tier.Report) {
+	t.Helper()
+	d, rep, err := tier.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewTiered(cost.Memory(), store.Options{
+		MemoryBudget: memBudget,
+		Disk:         d,
+		// A fast-SSD profile: the test artifacts are tiny, so the default
+		// 3 ms disk latency would make recomputing micro-operators cheaper
+		// than loading and the planner would rightly recompute. Recovery
+		// semantics are under test here; tier *pricing* is covered by
+		// internal/reuse's TestPlannerPricesArtifactTier.
+		DiskProfile: cost.Profile{Name: "disk", Latency: 10 * time.Microsecond, BytesPerSecond: 2 << 30},
+	})
+	return core.NewServer(st, core.WithBudget(1<<30)), rep
+}
+
+// TestCrashRecoveryServesFromDiskTier is the tentpole's end-to-end
+// acceptance scenario: populate a tiered store (a tight memory budget
+// demotes artifacts to disk during the run), checkpoint the EG, hard-stop
+// (no flush, no graceful close), restart a fresh server at the same store
+// directory, and re-run the same workload — every artifact must be served
+// from the store (checksums verified at boot) with zero recomputation.
+func TestCrashRecoveryServesFromDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	frame := testFrame(200)
+
+	// Session 1: a 2 KiB memory budget forces demotion of the ~1.6 KiB
+	// dataset artifacts as the run progresses.
+	srv1, _ := newTieredServer(t, dir, 2<<10)
+	if _, err := core.NewClient(srv1).Run(buildWorkload(frame)); err != nil {
+		t.Fatal(err)
+	}
+	if srv1.Store.DiskBytes() == 0 {
+		t.Fatal("setup: budget pressure should have demoted artifacts to disk")
+	}
+	if err := Save(srv1, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Hard stop: srv1 is abandoned with memory-tier contents unsaved to the
+	// tier (only the checkpoint and prior demotions survive).
+
+	// Session 2: boot scan verifies every checksum and rebuilds the index.
+	srv2, rep := newTieredServer(t, dir, 2<<10)
+	if rep.Quarantined != 0 {
+		t.Fatalf("clean restart quarantined %d files", rep.Quarantined)
+	}
+	if rep.BytesVerified == 0 {
+		t.Fatal("boot scan verified no bytes")
+	}
+	restored, err := Load(srv2, dir)
+	if err != nil || !restored {
+		t.Fatalf("Load: restored=%v err=%v", restored, err)
+	}
+	if srv2.Store.DiskBytes() == 0 {
+		t.Fatal("disk tier empty after recovery")
+	}
+	// Every materialized EG vertex must be loadable from some tier.
+	for _, id := range srv2.EG.MaterializedIDs() {
+		if !srv2.Store.Has(id) {
+			t.Fatalf("vertex %s marked materialized but unloadable", id)
+		}
+	}
+	res, err := core.NewClient(srv2).Run(buildWorkload(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reused == 0 {
+		t.Error("recovered server should serve artifacts for reuse")
+	}
+	if res.Executed != 0 {
+		t.Errorf("recovered identical workload recomputed %d ops", res.Executed)
+	}
+}
+
+// TestCrashRecoveryQuarantinesAndRecomputes corrupts a stored column file
+// between sessions: the restart must detect it (checksum), quarantine the
+// file and its dependent artifact, and the re-run must recompute the lost
+// work instead of serving torn data or failing.
+func TestCrashRecoveryQuarantinesAndRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	frame := testFrame(200)
+
+	srv1, _ := newTieredServer(t, dir, 0)
+	if _, err := core.NewClient(srv1).Run(buildWorkload(frame)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.Store.FlushToDisk(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(srv1, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in every stored column and blob file, so every artifact —
+	// including the terminal's, which would otherwise satisfy the whole
+	// re-run by itself — is lost.
+	cols, err := filepath.Glob(filepath.Join(dir, "cols", "*.col"))
+	if err != nil || len(cols) == 0 {
+		t.Fatalf("no column files on disk (err=%v)", err)
+	}
+	blobs, err := filepath.Glob(filepath.Join(dir, "blobs", "*.bl"))
+	if err != nil || len(blobs) == 0 {
+		t.Fatalf("no blob files on disk (err=%v)", err)
+	}
+	for _, path := range append(cols, blobs...) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0xFF
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv2, rep := newTieredServer(t, dir, 0)
+	if rep.Quarantined == 0 {
+		t.Fatal("corrupted column not quarantined at boot")
+	}
+	if _, err := Load(srv2, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing materialized may be unloadable — the quarantined artifact
+	// must have been unmarked.
+	for _, id := range srv2.EG.MaterializedIDs() {
+		if !srv2.Store.Has(id) {
+			t.Fatalf("vertex %s marked materialized but unloadable", id)
+		}
+	}
+	res, err := core.NewClient(srv2).Run(buildWorkload(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed == 0 {
+		t.Error("quarantined artifact should force recomputation")
+	}
+	quarantined, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(quarantined) == 0 {
+		t.Fatalf("quarantine dir empty (err=%v)", err)
+	}
+}
+
+// TestLoadRejectsTornSnapshot truncates and byte-flips enveloped snapshots:
+// both must surface ErrTorn rather than restoring partial state.
+func TestLoadRejectsTornSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	srv := core.NewServer(store.New(cost.Memory()), core.WithBudget(1<<30))
+	if _, err := core.NewClient(srv).Run(buildWorkload(testFrame(100))); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(srv, dir); err != nil {
+		t.Fatal(err)
+	}
+	egPath := filepath.Join(dir, "eg.gob")
+	orig, err := os.ReadFile(egPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation (a torn write that lost its tail).
+	if err := os.WriteFile(egPath, orig[:len(orig)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *core.Server {
+		return core.NewServer(store.New(cost.Memory()), core.WithBudget(1<<30))
+	}
+	if _, err := Load(fresh(), dir); err == nil || !isTorn(err) {
+		t.Fatalf("truncated snapshot: got %v, want ErrTorn", err)
+	}
+
+	// Single-byte corruption inside the payload.
+	bad := append([]byte(nil), orig...)
+	bad[len(bad)/2] ^= 0x01
+	if err := os.WriteFile(egPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(fresh(), dir); err == nil || !isTorn(err) {
+		t.Fatalf("corrupted snapshot: got %v, want ErrTorn", err)
+	}
+
+	// Restoring the original bytes works again.
+	if err := os.WriteFile(egPath, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if restored, err := Load(fresh(), dir); err != nil || !restored {
+		t.Fatalf("pristine snapshot: restored=%v err=%v", restored, err)
+	}
+}

@@ -171,21 +171,43 @@ func (c *Client) post(url string, body *bytes.Buffer) (*http.Response, error) {
 
 // Fetch implements core.Optimizer (ArtifactSource).
 func (c *Client) Fetch(id string) graph.Artifact {
+	content, _ := c.fetchTagged(id)
+	return content
+}
+
+// fetchTagged downloads an artifact and returns the server-side tier label
+// from the X-Collab-Tier response header ("" for older servers).
+func (c *Client) fetchTagged(id string) (graph.Artifact, string) {
 	resp, err := c.get(c.base + "/v1/artifact?id=" + url.QueryEscape(id))
 	if err != nil {
 		c.fail(err)
-		return nil
+		return nil, ""
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil
+		return nil, ""
 	}
 	var env artifactEnvelope
 	if err := gob.NewDecoder(resp.Body).Decode(&env); err != nil {
 		c.fail(fmt.Errorf("remote: decode artifact %s: %w", id, err))
-		return nil
+		return nil, ""
 	}
-	return env.Content
+	return env.Content, resp.Header.Get(TierHeader)
+}
+
+// FetchTiered implements core.TieredFetcher: transfers always cost the
+// client's (remote) profile, but the span label records which server tier
+// the bytes actually came from, e.g. "remote:disk".
+func (c *Client) FetchTiered(id string) (graph.Artifact, string, time.Duration) {
+	content, srvTier := c.fetchTagged(id)
+	if content == nil {
+		return nil, "", 0
+	}
+	label := "remote"
+	if srvTier != "" {
+		label = "remote:" + srvTier
+	}
+	return content, label, c.profile.LoadCost(content.SizeBytes())
 }
 
 // LoadCostOf implements core.Optimizer (ArtifactSource).

@@ -158,11 +158,15 @@ func (h *Handler) update(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) getArtifact(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
-	content := h.srv.Fetch(id)
+	// Peek, don't Get: serving a collaborator must not promote the artifact
+	// into the memory tier or disturb the LRU order — a cold artifact
+	// streams straight from the disk tier.
+	content, tier := h.srv.PeekArtifact(id)
 	if content == nil {
 		http.Error(w, "artifact not found", http.StatusNotFound)
 		return
 	}
+	w.Header().Set(TierHeader, tier.String())
 	env := artifactEnvelope{Content: content}
 	writeGob(w, &env)
 }
@@ -196,6 +200,8 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		Materialized:       len(h.srv.EG.MaterializedIDs()),
 		PhysicalBytes:      h.srv.Store.PhysicalBytes(),
 		LogicalBytes:       h.srv.Store.LogicalBytes(),
+		MemoryBytes:        h.srv.Store.MemoryBytes(),
+		DiskBytes:          h.srv.Store.DiskBytes(),
 		PlanTime:           plan,
 		MatTime:            mat,
 		OptimizeCount:      h.srv.OptimizeCount(),

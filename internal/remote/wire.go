@@ -85,6 +85,10 @@ type UpdateResponse struct {
 	WantContent []string
 }
 
+// TierHeader is the response header on artifact downloads naming the
+// storage tier that served the content ("memory", "disk").
+const TierHeader = "X-Collab-Tier"
+
 // Stats summarizes server state for CLI inspection: EG/store sizes plus
 // the cumulative optimizer and updater telemetry tracked by internal/obs.
 type Stats struct {
@@ -92,6 +96,10 @@ type Stats struct {
 	Materialized  int
 	PhysicalBytes int64
 	LogicalBytes  int64
+	// MemoryBytes and DiskBytes split PhysicalBytes by storage tier
+	// (inclusive tiers: an artifact resident in both counts in both).
+	MemoryBytes int64
+	DiskBytes   int64
 	// PlanTime and MatTime are the accumulated reuse-planning and
 	// materialization-algorithm overheads.
 	PlanTime time.Duration

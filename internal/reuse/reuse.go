@@ -44,7 +44,11 @@ func GatherCosts(w *graph.DAG, g *eg.Graph, st *store.Manager) Costs {
 				}
 			}
 			if v.Materialized && st.Has(n.ID) {
-				cl = st.LoadCost(v.SizeBytes)
+				// Price Cl(v) with the artifact's actual tier: a
+				// memory-resident artifact loads at memory speed, a demoted
+				// one at disk speed, so the load-vs-compute comparison tracks
+				// where the bytes really are.
+				cl = st.LoadCostFor(n.ID, v.SizeBytes)
 			}
 		} else if n.Kind == graph.SupernodeKind {
 			ci = 0

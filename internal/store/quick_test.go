@@ -9,6 +9,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/data"
 	"repro/internal/graph"
+	"repro/internal/tier"
 )
 
 // TestQuickPhysicalBytesMatchReferenceModel drives the store with a random
@@ -76,6 +77,143 @@ func TestQuickPhysicalBytesMatchReferenceModel(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTieredBytesMatchReferenceModel drives a tiered manager with a
+// random put/get/demote/evict sequence over artifacts sharing a column pool
+// and checks per-tier deduplicated physical bytes against a reference model
+// at every step. The model mirrors the inclusive-tier contract: Demote
+// spills to disk and drops the memory copy; Get on a disk resident promotes
+// while keeping the disk copy; Evict clears both tiers.
+func TestQuickTieredBytesMatchReferenceModel(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(16)
+		pool := make([]*data.Column, 6)
+		for j := range pool {
+			pool[j] = data.NewFloatColumn(fmt.Sprintf("c%d", j), make([]float64, rows))
+		}
+		colSize := make(map[string]int64)
+		for _, c := range pool {
+			colSize[c.ID] = c.SizeBytes()
+		}
+		dir := t.TempDir()
+		d, _, err := tier.Open(dir)
+		if err != nil {
+			return false
+		}
+		// Unbudgeted: tier moves happen only through explicit ops, so the
+		// reference model stays exact.
+		m := NewTiered(cost.Memory(), Options{Disk: d})
+		// Reference: column IDs held per artifact, per tier.
+		memHeld := make(map[string][]string)
+		diskHeld := make(map[string][]string)
+		union := func(held map[string][]string) int64 {
+			var sum int64
+			seen := map[string]bool{}
+			for _, ids := range held {
+				for _, cid := range ids {
+					if !seen[cid] {
+						seen[cid] = true
+						sum += colSize[cid]
+					}
+				}
+			}
+			return sum
+		}
+		for step := 0; step < 60; step++ {
+			id := fmt.Sprintf("v%d", rng.Intn(8))
+			switch rng.Intn(5) {
+			case 0: // evict from all tiers
+				m.Evict(id)
+				delete(memHeld, id)
+				delete(diskHeld, id)
+			case 1: // demote memory → disk
+				err := m.Demote(id)
+				if ids, inMem := memHeld[id]; inMem {
+					if err != nil {
+						return false
+					}
+					diskHeld[id] = ids
+					delete(memHeld, id)
+				} else if err == nil {
+					return false // demoting a non-resident must fail
+				}
+			case 2: // get: promotes a disk resident, keeps the disk copy
+				a, tr := m.GetTiered(id)
+				if ids, onDisk := diskHeld[id]; onDisk {
+					if _, inMem := memHeld[id]; !inMem {
+						if a == nil || tr != TierDisk {
+							return false
+						}
+						memHeld[id] = ids
+					} else if tr != TierMemory {
+						return false
+					}
+				} else if _, inMem := memHeld[id]; inMem {
+					if tr != TierMemory {
+						return false
+					}
+				} else if a != nil || tr != TierNone {
+					return false
+				}
+			default: // put a random subset of the pool (no-op when present)
+				if _, inMem := memHeld[id]; inMem {
+					continue
+				}
+				if _, onDisk := diskHeld[id]; onDisk {
+					continue
+				}
+				var cols []*data.Column
+				var ids []string
+				for _, c := range pool {
+					if rng.Intn(2) == 0 {
+						cols = append(cols, c)
+						ids = append(ids, c.ID)
+					}
+				}
+				if len(cols) == 0 {
+					cols = pool[:1]
+					ids = []string{pool[0].ID}
+				}
+				if err := m.Put(id, &graph.DatasetArtifact{Frame: data.MustNewFrame(cols...)}); err != nil {
+					return false
+				}
+				memHeld[id] = ids
+			}
+			// Per-tier physical bytes must match the reference unions.
+			if m.MemoryBytes() != union(memHeld) {
+				return false
+			}
+			if m.DiskBytes() != union(diskHeld) {
+				return false
+			}
+			// Artifact count is the union across tiers.
+			n := len(memHeld)
+			for id := range diskHeld {
+				if _, inMem := memHeld[id]; !inMem {
+					n++
+				}
+			}
+			if m.Len() != n {
+				return false
+			}
+			for id := range memHeld {
+				if m.TierOf(id) != TierMemory {
+					return false
+				}
+			}
+			for id := range diskHeld {
+				if _, inMem := memHeld[id]; !inMem && m.TierOf(id) != TierDisk {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,29 +1,78 @@
-// Package store implements the artifact storage manager (§5.3): a
+// Package store implements the tiered artifact storage manager (§5.3): a
 // content-addressed store that deduplicates dataset columns by their
 // lineage IDs, so two artifacts sharing columns cost the shared bytes only
 // once. Models and aggregates are stored as whole blobs.
+//
+// The manager holds two tiers. The memory tier serves artifacts at
+// in-process speed and has a configurable byte budget; under pressure, cold
+// artifacts are *demoted* to the durable disk tier (internal/tier) instead
+// of being dropped, and promoted back on access. True eviction happens only
+// from disk (or when no disk tier is attached). The tiers are inclusive: a
+// promoted artifact keeps its disk copy, so re-demotion is a metadata-only
+// drop and a crash never loses demoted work. See DESIGN.md "Tiered
+// storage".
 package store
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/data"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/tier"
 )
+
+// Tier identifies which storage tier holds (or served) an artifact.
+type Tier int
+
+const (
+	// TierNone: the artifact is not stored.
+	TierNone Tier = iota
+	// TierMemory: resident in the in-process memory tier.
+	TierMemory
+	// TierDisk: resident only in the durable disk tier.
+	TierDisk
+)
+
+// String returns the tier label used in metrics, trace spans, and the
+// X-Collab-Tier transfer header.
+func (t Tier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	default:
+		return "none"
+	}
+}
 
 // Metrics holds the manager's optional observability counters. All fields
 // are nil-safe (see internal/obs): an uninstrumented manager pays only a
 // nil check per operation.
 type Metrics struct {
-	// GetHits / GetMisses count lookups by outcome.
+	// GetHits / GetMisses count lookups by outcome (any tier).
 	GetHits, GetMisses *obs.Counter
+	// DiskHits counts lookups served by the disk tier (subset of GetHits).
+	DiskHits *obs.Counter
 	// Puts counts artifacts admitted (no-op re-puts excluded).
 	Puts *obs.Counter
-	// Evictions counts artifacts removed.
+	// Evictions counts artifacts removed entirely (all tiers).
 	Evictions *obs.Counter
+	// Demotions counts artifacts moved memory → disk under budget
+	// pressure or idle sweeps.
+	Demotions *obs.Counter
+	// Promotions counts artifacts copied disk → memory on access.
+	Promotions *obs.Counter
+	// DiskEvictions counts artifacts dropped from the disk tier by its
+	// budget (true eviction of cold data).
+	DiskEvictions *obs.Counter
+	// ChecksumFailures counts disk reads rejected by checksum or decode
+	// verification (the offending files are quarantined).
+	ChecksumFailures *obs.Counter
 	// BytesFetched accumulates the logical size of artifacts served by Get.
 	BytesFetched *obs.Counter
 }
@@ -38,19 +87,46 @@ type manifest struct {
 	names  []string
 }
 
+// Options configures the tiered manager beyond the memory profile.
+type Options struct {
+	// MemoryBudget bounds the memory tier's deduplicated bytes; exceeding
+	// it demotes cold artifacts to disk (or hard-evicts them when no disk
+	// tier is attached). 0 means unbounded.
+	MemoryBudget int64
+	// Disk attaches the durable tier; nil keeps the manager memory-only.
+	Disk *tier.Disk
+	// DiskProfile is the load-cost profile priced for disk-tier artifacts
+	// (defaults to cost.Disk() when a disk tier is attached).
+	DiskProfile cost.Profile
+	// DiskBudget bounds the disk tier's bytes; exceeding it evicts the
+	// coldest disk artifacts for real. 0 means unbounded.
+	DiskBudget int64
+}
+
 // Manager stores artifact content for materialized Experiment Graph
 // vertices. It is safe for concurrent use.
 type Manager struct {
-	mu      sync.RWMutex
-	profile cost.Profile
+	mu          sync.RWMutex
+	profile     cost.Profile // memory-tier load costs
+	diskProfile cost.Profile // disk-tier load costs
+	memBudget   int64
+	diskBudget  int64
+	disk        *tier.Disk
 
 	cols   map[string]*colEntry
 	frames map[string]manifest
 	blobs  map[string]graph.Artifact
 	// blobSizes caches blob sizes so physical accounting is O(1).
 	blobSizes map[string]int64
-	physical  int64
+	physical  int64 // memory-tier deduplicated bytes
 	logical   map[string]int64
+
+	// lastUse orders artifacts for LRU demotion/eviction (a logical clock:
+	// deterministic under any timer resolution); lastTouch supports
+	// wall-clock idle sweeps. Both cover every stored id, either tier.
+	lastUse   map[string]uint64
+	lastTouch map[string]time.Time
+	clock     uint64
 
 	met Metrics
 }
@@ -63,24 +139,61 @@ func (m *Manager) Instrument(met Metrics) {
 	m.mu.Unlock()
 }
 
-// New returns an empty storage manager with the given load-cost profile.
+// New returns an empty memory-only storage manager with the given load-cost
+// profile and no budget.
 func New(profile cost.Profile) *Manager {
+	return NewTiered(profile, Options{})
+}
+
+// NewTiered returns an empty manager with the given memory-tier profile and
+// tiering options.
+func NewTiered(profile cost.Profile, opts Options) *Manager {
+	dp := opts.DiskProfile
+	if dp.Name == "" {
+		dp = cost.Disk()
+	}
 	return &Manager{
-		profile:   profile,
-		cols:      make(map[string]*colEntry),
-		frames:    make(map[string]manifest),
-		blobs:     make(map[string]graph.Artifact),
-		blobSizes: make(map[string]int64),
-		logical:   make(map[string]int64),
+		profile:     profile,
+		diskProfile: dp,
+		memBudget:   opts.MemoryBudget,
+		diskBudget:  opts.DiskBudget,
+		disk:        opts.Disk,
+		cols:        make(map[string]*colEntry),
+		frames:      make(map[string]manifest),
+		blobs:       make(map[string]graph.Artifact),
+		blobSizes:   make(map[string]int64),
+		logical:     make(map[string]int64),
+		lastUse:     make(map[string]uint64),
+		lastTouch:   make(map[string]time.Time),
 	}
 }
 
-// Profile returns the manager's load-cost profile.
+// Profile returns the manager's memory-tier load-cost profile.
 func (m *Manager) Profile() cost.Profile { return m.profile }
 
-// Put stores the artifact content for a vertex. Dataset artifacts are
-// decomposed into deduplicated columns; other artifacts are stored whole.
-// Putting an already-present vertex is a no-op.
+// TierProfile returns the load-cost profile of the given tier.
+func (m *Manager) TierProfile(t Tier) cost.Profile {
+	if t == TierDisk {
+		return m.diskProfile
+	}
+	return m.profile
+}
+
+// Disk returns the attached disk tier, or nil for a memory-only manager.
+func (m *Manager) Disk() *tier.Disk { return m.disk }
+
+// touchLocked stamps an artifact's LRU position.
+func (m *Manager) touchLocked(vertexID string) {
+	m.clock++
+	m.lastUse[vertexID] = m.clock
+	m.lastTouch[vertexID] = time.Now()
+}
+
+// Put stores the artifact content for a vertex in the memory tier. Dataset
+// artifacts are decomposed into deduplicated columns; other artifacts are
+// stored whole. Putting an already-present vertex (either tier) is a no-op.
+// If the memory budget is exceeded, the coldest artifacts are demoted to
+// the disk tier before Put returns.
 func (m *Manager) Put(vertexID string, a graph.Artifact) error {
 	if a == nil {
 		return fmt.Errorf("store: nil artifact for %s", vertexID)
@@ -91,6 +204,15 @@ func (m *Manager) Put(vertexID string, a graph.Artifact) error {
 		return nil
 	}
 	m.met.Puts.Inc()
+	m.admitLocked(vertexID, a)
+	m.touchLocked(vertexID)
+	m.enforceBudgetsLocked()
+	return nil
+}
+
+// admitLocked inserts content into the memory-tier maps (no budget check,
+// no touch).
+func (m *Manager) admitLocked(vertexID string, a graph.Artifact) {
 	if ds, ok := a.(*graph.DatasetArtifact); ok && ds.Frame != nil {
 		man := manifest{}
 		for _, c := range ds.Frame.Columns() {
@@ -105,28 +227,22 @@ func (m *Manager) Put(vertexID string, a graph.Artifact) error {
 		}
 		m.frames[vertexID] = man
 		m.logical[vertexID] = ds.SizeBytes()
-		return nil
+		return
 	}
 	m.blobs[vertexID] = a
 	sz := a.SizeBytes()
 	m.blobSizes[vertexID] = sz
 	m.physical += sz
 	m.logical[vertexID] = sz
-	return nil
 }
 
-// Get retrieves the artifact content for a vertex, or nil if absent.
-// Dataset artifacts are reassembled from the column store; the returned
-// frame shares the stored column arrays (in-memory EG semantics).
-func (m *Manager) Get(vertexID string) graph.Artifact {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+// getMemoryLocked reassembles a memory-resident artifact, or nil.
+func (m *Manager) getMemoryLocked(vertexID string) graph.Artifact {
 	if man, ok := m.frames[vertexID]; ok {
 		cols := make([]*data.Column, 0, len(man.colIDs))
 		for i, id := range man.colIDs {
 			e, exists := m.cols[id]
 			if !exists {
-				m.met.GetMisses.Inc()
 				return nil // torn entry; treat as absent
 			}
 			c := e.col
@@ -138,23 +254,101 @@ func (m *Manager) Get(vertexID string) graph.Artifact {
 		}
 		f, err := data.NewFrame(cols...)
 		if err != nil {
-			m.met.GetMisses.Inc()
 			return nil
 		}
-		m.met.GetHits.Inc()
-		m.met.BytesFetched.Add(m.logical[vertexID])
 		return &graph.DatasetArtifact{Frame: f}
 	}
-	if b, ok := m.blobs[vertexID]; ok {
-		m.met.GetHits.Inc()
-		m.met.BytesFetched.Add(m.logical[vertexID])
-		return b
-	}
-	m.met.GetMisses.Inc()
-	return nil
+	return m.blobs[vertexID]
 }
 
-// Has reports whether the vertex's content is stored.
+// getDiskLocked reads an artifact from the disk tier, counting checksum
+// failures (the tier quarantines the offending file itself).
+func (m *Manager) getDiskLocked(vertexID string) graph.Artifact {
+	if m.disk == nil {
+		return nil
+	}
+	a, err := m.disk.Get(vertexID)
+	if err != nil {
+		m.met.ChecksumFailures.Inc()
+		return nil
+	}
+	return a
+}
+
+// Get retrieves the artifact content for a vertex, or nil if absent.
+// Dataset artifacts are reassembled from the column store; the returned
+// frame shares the stored column arrays (in-memory EG semantics). A
+// disk-tier hit promotes the artifact back into the memory tier.
+func (m *Manager) Get(vertexID string) graph.Artifact {
+	a, _ := m.GetTiered(vertexID)
+	return a
+}
+
+// GetTiered is Get reporting which tier served the artifact, so callers
+// (the executor's fetch path, the reuse planner's cost model) can price and
+// tag the access with the artifact's actual location.
+func (m *Manager) GetTiered(vertexID string) (graph.Artifact, Tier) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a := m.getMemoryLocked(vertexID); a != nil {
+		m.met.GetHits.Inc()
+		m.met.BytesFetched.Add(m.logical[vertexID])
+		m.touchLocked(vertexID)
+		return a, TierMemory
+	}
+	if a := m.getDiskLocked(vertexID); a != nil {
+		m.met.GetHits.Inc()
+		m.met.DiskHits.Inc()
+		// Promote: copy up into the memory tier (the disk copy remains, so
+		// a later demotion is a metadata-only drop).
+		m.admitLocked(vertexID, a)
+		m.met.Promotions.Inc()
+		m.met.BytesFetched.Add(m.logical[vertexID])
+		m.touchLocked(vertexID)
+		m.enforceBudgetsLocked()
+		return a, TierDisk
+	}
+	m.met.GetMisses.Inc()
+	return nil, TierNone
+}
+
+// Peek returns the artifact without promoting it or disturbing the LRU
+// order: the snapshotter and remote artifact transfers read through Peek so
+// serving a cold artifact to a collaborator does not displace the hot set.
+func (m *Manager) Peek(vertexID string) (graph.Artifact, Tier) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if a := m.getMemoryLocked(vertexID); a != nil {
+		return a, TierMemory
+	}
+	if a := m.getDiskLocked(vertexID); a != nil {
+		return a, TierDisk
+	}
+	return nil, TierNone
+}
+
+// TierOf reports where the vertex's content currently resides. Memory wins
+// when both tiers hold a copy.
+func (m *Manager) TierOf(vertexID string) Tier {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.tierOfLocked(vertexID)
+}
+
+func (m *Manager) tierOfLocked(vertexID string) Tier {
+	if _, ok := m.frames[vertexID]; ok {
+		return TierMemory
+	}
+	if _, ok := m.blobs[vertexID]; ok {
+		return TierMemory
+	}
+	if m.disk != nil && m.disk.Has(vertexID) {
+		return TierDisk
+	}
+	return TierNone
+}
+
+// Has reports whether the vertex's content is stored in any tier.
 func (m *Manager) Has(vertexID string) bool {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -162,18 +356,12 @@ func (m *Manager) Has(vertexID string) bool {
 }
 
 func (m *Manager) hasLocked(vertexID string) bool {
-	if _, ok := m.frames[vertexID]; ok {
-		return true
-	}
-	_, ok := m.blobs[vertexID]
-	return ok
+	return m.tierOfLocked(vertexID) != TierNone
 }
 
-// Evict removes a vertex's content, releasing column references and
-// reclaiming physical space for columns no longer referenced.
-func (m *Manager) Evict(vertexID string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// dropMemoryLocked removes a vertex from the memory-tier maps, releasing
+// column references. Reports whether anything was removed.
+func (m *Manager) dropMemoryLocked(vertexID string) bool {
 	if man, ok := m.frames[vertexID]; ok {
 		for _, id := range man.colIDs {
 			e := m.cols[id]
@@ -188,28 +376,231 @@ func (m *Manager) Evict(vertexID string) {
 		}
 		delete(m.frames, vertexID)
 		delete(m.logical, vertexID)
-		m.met.Evictions.Inc()
-		return
+		return true
 	}
 	if _, ok := m.blobs[vertexID]; ok {
 		m.physical -= m.blobSizes[vertexID]
 		delete(m.blobs, vertexID)
 		delete(m.blobSizes, vertexID)
 		delete(m.logical, vertexID)
+		return true
+	}
+	return false
+}
+
+// Evict removes a vertex's content from every tier (true eviction),
+// releasing column references and reclaiming physical space for columns no
+// longer referenced.
+func (m *Manager) Evict(vertexID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dropped := m.dropMemoryLocked(vertexID)
+	if m.disk != nil && m.disk.Has(vertexID) {
+		m.disk.Evict(vertexID)
+		dropped = true
+	}
+	if dropped {
+		delete(m.lastUse, vertexID)
+		delete(m.lastTouch, vertexID)
 		m.met.Evictions.Inc()
 	}
 }
 
-// PhysicalBytes returns the deduplicated bytes actually stored.
-func (m *Manager) PhysicalBytes() int64 {
+// demoteLocked moves a memory-resident artifact to the disk tier: content
+// is spilled (skipped when the inclusive disk copy already exists) and the
+// memory copy dropped. The artifact stays loadable — Has, Get, and the
+// planner's cost model all keep seeing it, at disk cost.
+func (m *Manager) demoteLocked(vertexID string) error {
+	if m.disk == nil {
+		return fmt.Errorf("store: no disk tier to demote %s to", vertexID)
+	}
+	if man, ok := m.frames[vertexID]; ok {
+		if !m.disk.Has(vertexID) {
+			cols := make([]*data.Column, len(man.colIDs))
+			for i, id := range man.colIDs {
+				e := m.cols[id]
+				if e == nil {
+					return fmt.Errorf("store: torn entry %s, cannot demote %s", id, vertexID)
+				}
+				c := e.col
+				if c.Name != man.names[i] {
+					c = c.WithID(c.ID)
+					c.Name = man.names[i]
+				}
+				cols[i] = c
+			}
+			if err := m.disk.PutFrame(vertexID, cols); err != nil {
+				return err
+			}
+		}
+		m.dropMemoryLocked(vertexID)
+		m.met.Demotions.Inc()
+		return nil
+	}
+	if b, ok := m.blobs[vertexID]; ok {
+		if !m.disk.Has(vertexID) {
+			if err := m.disk.PutBlob(vertexID, b); err != nil {
+				return err
+			}
+		}
+		m.dropMemoryLocked(vertexID)
+		m.met.Demotions.Inc()
+		return nil
+	}
+	return fmt.Errorf("store: %s is not memory-resident", vertexID)
+}
+
+// Demote explicitly moves a vertex's content from the memory tier to the
+// disk tier.
+func (m *Manager) Demote(vertexID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.demoteLocked(vertexID)
+}
+
+// coldestLocked returns the memory-resident vertex with the oldest LRU
+// stamp, or "" when the memory tier is empty.
+func (m *Manager) coldestLocked() string {
+	victim, best := "", uint64(0)
+	pick := func(id string) {
+		u := m.lastUse[id]
+		if victim == "" || u < best {
+			victim, best = id, u
+		}
+	}
+	for id := range m.frames {
+		pick(id)
+	}
+	for id := range m.blobs {
+		pick(id)
+	}
+	return victim
+}
+
+// enforceBudgetsLocked demotes the coldest memory artifacts until the
+// memory tier fits its budget (hard-evicting when demotion is impossible),
+// then evicts the coldest disk artifacts until the disk tier fits its
+// budget. Deterministic: victims are selected by logical-clock LRU order.
+func (m *Manager) enforceBudgetsLocked() {
+	if m.memBudget > 0 {
+		for m.physical > m.memBudget {
+			victim := m.coldestLocked()
+			if victim == "" {
+				break
+			}
+			if err := m.demoteLocked(victim); err != nil {
+				// No disk tier or spill failure: fall back to dropping the
+				// artifact so the budget still holds.
+				m.dropMemoryLocked(victim)
+				delete(m.lastUse, victim)
+				delete(m.lastTouch, victim)
+				m.met.Evictions.Inc()
+			}
+		}
+	}
+	if m.disk != nil && m.diskBudget > 0 {
+		for m.disk.PhysicalBytes() > m.diskBudget {
+			victim, best := "", uint64(0)
+			for _, id := range m.disk.StoredIDs() {
+				u := m.lastUse[id]
+				if victim == "" || u < best {
+					victim, best = id, u
+				}
+			}
+			if victim == "" {
+				break
+			}
+			m.disk.Evict(victim)
+			m.met.DiskEvictions.Inc()
+			if m.tierOfLocked(victim) == TierNone {
+				delete(m.lastUse, victim)
+				delete(m.lastTouch, victim)
+			}
+		}
+	}
+}
+
+// DemoteIdle demotes every memory-resident artifact whose last access is
+// older than the cutoff. It is the background-demotion entry point: collabd
+// runs it on a timer so long-idle artifacts drain to disk even without
+// budget pressure. Returns how many artifacts were demoted.
+func (m *Manager) DemoteIdle(olderThan time.Duration) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.disk == nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-olderThan)
+	var victims []string
+	for id := range m.frames {
+		if m.lastTouch[id].Before(cutoff) {
+			victims = append(victims, id)
+		}
+	}
+	for id := range m.blobs {
+		if m.lastTouch[id].Before(cutoff) {
+			victims = append(victims, id)
+		}
+	}
+	n := 0
+	for _, id := range victims {
+		if m.demoteLocked(id) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// FlushToDisk demotes every memory-resident artifact, so all content is
+// durable on the disk tier (used at graceful shutdown of a persistent
+// store). Returns the first error, continuing past failures.
+func (m *Manager) FlushToDisk() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.disk == nil {
+		return fmt.Errorf("store: no disk tier attached")
+	}
+	ids := make([]string, 0, len(m.frames)+len(m.blobs))
+	for id := range m.frames {
+		ids = append(ids, id)
+	}
+	for id := range m.blobs {
+		ids = append(ids, id)
+	}
+	var first error
+	for _, id := range ids {
+		if err := m.demoteLocked(id); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MemoryBytes returns the deduplicated bytes resident in the memory tier.
+func (m *Manager) MemoryBytes() int64 {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.physical
 }
 
-// LogicalBytes returns the sum of artifact sizes as if stored without
-// deduplication (the paper's "real size of the materialized artifacts",
-// Figure 6, is this value for SA).
+// DiskBytes returns the deduplicated bytes resident in the disk tier, 0
+// for a memory-only manager.
+func (m *Manager) DiskBytes() int64 {
+	if m.disk == nil {
+		return 0
+	}
+	return m.disk.PhysicalBytes()
+}
+
+// PhysicalBytes returns the deduplicated bytes in the memory tier (the
+// paper's single-tier accounting; per-tier figures are MemoryBytes and
+// DiskBytes).
+func (m *Manager) PhysicalBytes() int64 { return m.MemoryBytes() }
+
+// LogicalBytes returns the sum of stored artifact sizes as if stored
+// without deduplication across both tiers (the paper's "real size of the
+// materialized artifacts", Figure 6, is this value for SA). Artifacts
+// resident in both tiers count once.
 func (m *Manager) LogicalBytes() int64 {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -217,10 +608,17 @@ func (m *Manager) LogicalBytes() int64 {
 	for _, sz := range m.logical {
 		n += sz
 	}
+	if m.disk != nil {
+		for _, id := range m.disk.StoredIDs() {
+			if _, inMem := m.logical[id]; !inMem {
+				n += m.disk.LogicalSize(id)
+			}
+		}
+	}
 	return n
 }
 
-// StoredIDs returns the vertex IDs with stored content.
+// StoredIDs returns the vertex IDs with stored content in any tier.
 func (m *Manager) StoredIDs() []string {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -231,18 +629,51 @@ func (m *Manager) StoredIDs() []string {
 	for id := range m.blobs {
 		out = append(out, id)
 	}
+	if m.disk != nil {
+		for _, id := range m.disk.StoredIDs() {
+			if _, f := m.frames[id]; f {
+				continue
+			}
+			if _, b := m.blobs[id]; b {
+				continue
+			}
+			out = append(out, id)
+		}
+	}
 	return out
 }
 
-// LoadCost returns the modeled retrieval cost Cl for a stored artifact of
-// the given size under the manager's profile.
+// LoadCost returns the modeled retrieval cost Cl for an artifact of the
+// given size under the memory-tier profile (location-blind; prefer
+// LoadCostFor when the artifact's vertex ID is known).
 func (m *Manager) LoadCost(sizeBytes int64) float64 {
 	return m.profile.LoadCost(sizeBytes).Seconds()
 }
 
-// Len returns the number of stored artifacts.
+// LoadCostFor returns the modeled retrieval cost Cl in seconds for the
+// vertex's artifact, priced with the profile of the tier that actually
+// holds it — the paper's Cl(v) adapted per artifact location rather than
+// per deployment. Unstored vertices are priced at memory cost (the
+// caller's guard, st.Has, decides loadability).
+func (m *Manager) LoadCostFor(vertexID string, sizeBytes int64) float64 {
+	return m.TierProfile(m.TierOf(vertexID)).LoadCost(sizeBytes).Seconds()
+}
+
+// Len returns the number of stored artifacts across tiers.
 func (m *Manager) Len() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return len(m.frames) + len(m.blobs)
+	n := len(m.frames) + len(m.blobs)
+	if m.disk != nil {
+		for _, id := range m.disk.StoredIDs() {
+			if _, f := m.frames[id]; f {
+				continue
+			}
+			if _, b := m.blobs[id]; b {
+				continue
+			}
+			n++
+		}
+	}
+	return n
 }

@@ -1,0 +1,251 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/tier"
+)
+
+func newDisk(t *testing.T) *tier.Disk {
+	t.Helper()
+	d, _, err := tier.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func floatArtifact(name string, rows int) *graph.DatasetArtifact {
+	return &graph.DatasetArtifact{
+		Frame: data.MustNewFrame(data.NewFloatColumn(name, make([]float64, rows))),
+	}
+}
+
+// TestBudgetDemotesColdestToDisk: exceeding the memory budget demotes LRU
+// artifacts to disk instead of dropping them; they stay loadable and are
+// promoted back on access.
+func TestBudgetDemotesColdestToDisk(t *testing.T) {
+	d := newDisk(t)
+	// Each artifact is 10 floats = 80 bytes; budget fits two.
+	m := NewTiered(cost.Memory(), Options{MemoryBudget: 160, Disk: d})
+	var met struct{ dem, pro obs.Counter }
+	m.Instrument(Metrics{Demotions: &met.dem, Promotions: &met.pro})
+
+	for _, id := range []string{"v1", "v2", "v3"} {
+		if err := m.Put(id, floatArtifact(id, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// v1 is coldest → demoted; v2, v3 resident.
+	if got := m.TierOf("v1"); got != TierDisk {
+		t.Fatalf("v1 tier = %v, want disk", got)
+	}
+	if m.TierOf("v2") != TierMemory || m.TierOf("v3") != TierMemory {
+		t.Fatal("v2/v3 should stay memory-resident")
+	}
+	if m.MemoryBytes() > 160 {
+		t.Fatalf("memory tier over budget: %d", m.MemoryBytes())
+	}
+	if !m.Has("v1") {
+		t.Fatal("demotion must not lose the artifact")
+	}
+	if met.dem.Value() != 1 {
+		t.Fatalf("demotions = %d, want 1", met.dem.Value())
+	}
+
+	// Access v1: served from disk, promoted back; now v2 is coldest and
+	// gets demoted in turn.
+	a, tr := m.GetTiered("v1")
+	if a == nil || tr != TierDisk {
+		t.Fatalf("GetTiered(v1) = %v, %v; want disk hit", a, tr)
+	}
+	if m.TierOf("v1") != TierMemory {
+		t.Fatal("v1 not promoted")
+	}
+	if m.TierOf("v2") != TierDisk {
+		t.Fatalf("v2 tier = %v, want disk (displaced by promotion)", m.TierOf("v2"))
+	}
+	if met.pro.Value() != 1 {
+		t.Fatalf("promotions = %d, want 1", met.pro.Value())
+	}
+	// Inclusive tiers: v1's disk copy remains, so re-demoting it writes
+	// nothing new and the disk tier still dedups the shared bytes.
+	if d.Has("v1") != true {
+		t.Fatal("promotion dropped the disk copy")
+	}
+}
+
+// TestBudgetWithoutDiskHardEvicts: a memory budget with no disk tier falls
+// back to true eviction (the pre-tiering behavior).
+func TestBudgetWithoutDiskHardEvicts(t *testing.T) {
+	m := NewTiered(cost.Memory(), Options{MemoryBudget: 160})
+	for _, id := range []string{"v1", "v2", "v3"} {
+		if err := m.Put(id, floatArtifact(id, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Has("v1") {
+		t.Fatal("v1 should be evicted (no disk tier)")
+	}
+	if !m.Has("v2") || !m.Has("v3") {
+		t.Fatal("v2/v3 should survive")
+	}
+}
+
+// TestDiskBudgetEvictsForReal: the disk tier's budget truly evicts the
+// coldest artifacts — the only place data is lost, by design.
+func TestDiskBudgetEvictsForReal(t *testing.T) {
+	d := newDisk(t)
+	m := NewTiered(cost.Memory(), Options{MemoryBudget: 80, Disk: d, DiskBudget: 160})
+	var evict obs.Counter
+	m.Instrument(Metrics{DiskEvictions: &evict})
+	for _, id := range []string{"v1", "v2", "v3", "v4"} {
+		if err := m.Put(id, floatArtifact(id, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Memory holds v4; disk can hold two of v1..v3 → v1 evicted for real.
+	if m.Has("v1") {
+		t.Fatal("v1 should be gone (disk budget)")
+	}
+	if !m.Has("v2") || !m.Has("v3") || !m.Has("v4") {
+		t.Fatal("newer artifacts should survive")
+	}
+	if evict.Value() != 1 {
+		t.Fatalf("disk evictions = %d, want 1", evict.Value())
+	}
+}
+
+// TestEvictRemovesAllTiers: the materializer's deselection eviction clears
+// both the memory and the disk copy.
+func TestEvictRemovesAllTiers(t *testing.T) {
+	d := newDisk(t)
+	m := NewTiered(cost.Memory(), Options{Disk: d})
+	if err := m.Put("v1", floatArtifact("v1", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Demote("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, tr := m.GetTiered("v1"); tr != TierDisk {
+		t.Fatal("setup: v1 should be served from disk")
+	}
+	// Now in both tiers (inclusive). Evict must clear both.
+	m.Evict("v1")
+	if m.Has("v1") || d.Has("v1") {
+		t.Fatal("Evict left a copy behind")
+	}
+}
+
+// TestLoadCostForPricesActualTier: Cl(v) uses the profile of the tier the
+// artifact actually occupies.
+func TestLoadCostForPricesActualTier(t *testing.T) {
+	d := newDisk(t)
+	m := NewTiered(cost.Memory(), Options{Disk: d, DiskProfile: cost.Disk()})
+	if err := m.Put("v1", floatArtifact("v1", 1000)); err != nil {
+		t.Fatal(err)
+	}
+	sz := int64(8000)
+	memCost := m.LoadCostFor("v1", sz)
+	if want := cost.Memory().LoadCost(sz).Seconds(); memCost != want {
+		t.Fatalf("memory-resident cost = %v, want %v", memCost, want)
+	}
+	if err := m.Demote("v1"); err != nil {
+		t.Fatal(err)
+	}
+	diskCost := m.LoadCostFor("v1", sz)
+	if want := cost.Disk().LoadCost(sz).Seconds(); diskCost != want {
+		t.Fatalf("disk-resident cost = %v, want %v", diskCost, want)
+	}
+	if diskCost <= memCost {
+		t.Fatal("disk tier should be priced slower than memory")
+	}
+}
+
+// TestPeekDoesNotPromote: reads for snapshotting/transfer must not disturb
+// tier placement or LRU order.
+func TestPeekDoesNotPromote(t *testing.T) {
+	d := newDisk(t)
+	m := NewTiered(cost.Memory(), Options{Disk: d})
+	if err := m.Put("v1", floatArtifact("v1", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Demote("v1"); err != nil {
+		t.Fatal(err)
+	}
+	a, tr := m.Peek("v1")
+	if a == nil || tr != TierDisk {
+		t.Fatalf("Peek = %v, %v", a, tr)
+	}
+	if m.TierOf("v1") != TierDisk {
+		t.Fatal("Peek promoted the artifact")
+	}
+}
+
+// TestDemoteIdleSweep: the background sweep demotes only artifacts idle
+// longer than the cutoff.
+func TestDemoteIdleSweep(t *testing.T) {
+	d := newDisk(t)
+	m := NewTiered(cost.Memory(), Options{Disk: d})
+	if err := m.Put("old", floatArtifact("old", 10)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := m.Put("fresh", floatArtifact("fresh", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.DemoteIdle(15 * time.Millisecond); n != 1 {
+		t.Fatalf("demoted %d, want 1", n)
+	}
+	if m.TierOf("old") != TierDisk || m.TierOf("fresh") != TierMemory {
+		t.Fatalf("sweep hit the wrong artifact: old=%v fresh=%v",
+			m.TierOf("old"), m.TierOf("fresh"))
+	}
+}
+
+// TestFlushToDiskSurvivesRestart: flushing then reopening the directory in
+// a new manager serves the same artifacts from the disk tier.
+func TestFlushToDiskSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := tier.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewTiered(cost.Memory(), Options{Disk: d})
+	if err := m.Put("v1", floatArtifact("v1", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("m1", &graph.AggregateArtifact{Value: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FlushToDisk(); err != nil {
+		t.Fatal(err)
+	}
+	if m.MemoryBytes() != 0 {
+		t.Fatalf("memory not drained: %d bytes", m.MemoryBytes())
+	}
+
+	d2, rep, err := tier.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 0 || rep.Frames != 1 || rep.Blobs != 1 {
+		t.Fatalf("recovery report: %+v", rep)
+	}
+	m2 := NewTiered(cost.Memory(), Options{Disk: d2})
+	a, tr := m2.GetTiered("m1")
+	if tr != TierDisk || a.(*graph.AggregateArtifact).Value != 42 {
+		t.Fatalf("blob not recovered: %v %v", a, tr)
+	}
+	if a, tr := m2.GetTiered("v1"); tr != TierDisk || a == nil {
+		t.Fatal("frame not recovered")
+	}
+	if m2.Len() != 2 {
+		t.Fatalf("recovered %d artifacts, want 2", m2.Len())
+	}
+}

@@ -1,0 +1,223 @@
+// Package tier implements the durable disk tier of the artifact storage
+// subsystem (DESIGN.md "Tiered storage"). The on-disk layout is
+// content-addressed at column granularity — one checksummed file per column
+// lineage ID — so the cross-artifact column deduplication of §5.3 survives
+// spilling: two artifacts sharing a column share one file on disk exactly as
+// they share one array in memory. Models and aggregates are stored as whole
+// checksummed blobs.
+//
+// Every file carries a CRC-32C checksum over its entire content. Torn
+// writes, truncation, and bit rot are detected on read and at boot, when
+// Open scans the directory, verifies every file, quarantines corrupt ones,
+// and rebuilds the tier index so a restarted server comes up warm.
+package tier
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/data"
+)
+
+// ErrCorrupt marks a file that failed structural validation or checksum
+// verification. Callers treat such files as absent and quarantine them.
+var ErrCorrupt = errors.New("tier: corrupt file")
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Column file format (version 1, all integers little-endian):
+//
+//	magic   "CTC1"                       4 bytes
+//	dtype   uint8                        data.DType
+//	idLen   uint16, id bytes             lineage ID
+//	nameLen uint16, name bytes           column name at write time
+//	rows    uint32
+//	payload                              per-dtype, see below
+//	crc     uint32                       CRC-32C of everything above
+//
+// Payload: Float64/Int64 are 8 bytes per row (IEEE-754 bits / two's
+// complement), Bool is 1 byte per row (0 or 1 — anything else is rejected,
+// keeping the encoding canonical), String is uint32 length + bytes per row.
+// The encoding is canonical: any byte string that decodes successfully
+// re-encodes to exactly the same bytes, which the fuzz test exploits.
+const colMagic = "CTC1"
+
+// maxMetaLen bounds the ID and name fields (they are hex hashes and short
+// human names in practice).
+const maxMetaLen = 1 << 12
+
+// EncodeColumn serializes a column in the canonical checksummed format.
+func EncodeColumn(c *data.Column) ([]byte, error) {
+	if c == nil {
+		return nil, fmt.Errorf("tier: nil column")
+	}
+	if len(c.ID) > maxMetaLen || len(c.Name) > maxMetaLen {
+		return nil, fmt.Errorf("tier: column id/name too long (%d/%d bytes)", len(c.ID), len(c.Name))
+	}
+	rows := c.Len()
+	if rows > math.MaxUint32 {
+		return nil, fmt.Errorf("tier: column too long (%d rows)", rows)
+	}
+	b := make([]byte, 0, 16+len(c.ID)+len(c.Name)+rows*8)
+	b = append(b, colMagic...)
+	b = append(b, byte(c.Type))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.ID)))
+	b = append(b, c.ID...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Name)))
+	b = append(b, c.Name...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(rows))
+	switch c.Type {
+	case data.Float64:
+		for _, v := range c.Floats {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+	case data.Int64:
+		for _, v := range c.Ints {
+			b = binary.LittleEndian.AppendUint64(b, uint64(v))
+		}
+	case data.String:
+		for _, s := range c.Strings {
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+			b = append(b, s...)
+		}
+	case data.Bool:
+		for _, v := range c.Bools {
+			if v {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("tier: unsupported dtype %v", c.Type)
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli)), nil
+}
+
+// colReader is a bounds-checked cursor over an encoded column.
+type colReader struct {
+	b   []byte
+	off int
+}
+
+func (r *colReader) take(n int) ([]byte, bool) {
+	if n < 0 || len(r.b)-r.off < n {
+		return nil, false
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, true
+}
+
+func (r *colReader) u16() (uint16, bool) {
+	b, ok := r.take(2)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint16(b), true
+}
+
+func (r *colReader) u32() (uint32, bool) {
+	b, ok := r.take(4)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(b), true
+}
+
+// DecodeColumn parses and verifies a canonical column encoding. Any
+// structural violation or checksum mismatch returns an error wrapping
+// ErrCorrupt.
+func DecodeColumn(b []byte) (*data.Column, error) {
+	if len(b) < len(colMagic)+4 || string(b[:len(colMagic)]) != colMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	body, crcBytes := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	r := &colReader{b: body, off: len(colMagic)}
+	dt, ok := r.take(1)
+	if !ok {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	c := &data.Column{Type: data.DType(dt[0])}
+	idLen, ok := r.u16()
+	if !ok {
+		return nil, fmt.Errorf("%w: truncated id", ErrCorrupt)
+	}
+	id, ok := r.take(int(idLen))
+	if !ok {
+		return nil, fmt.Errorf("%w: truncated id", ErrCorrupt)
+	}
+	c.ID = string(id)
+	nameLen, ok := r.u16()
+	if !ok {
+		return nil, fmt.Errorf("%w: truncated name", ErrCorrupt)
+	}
+	name, ok := r.take(int(nameLen))
+	if !ok {
+		return nil, fmt.Errorf("%w: truncated name", ErrCorrupt)
+	}
+	c.Name = string(name)
+	rows32, ok := r.u32()
+	if !ok {
+		return nil, fmt.Errorf("%w: truncated row count", ErrCorrupt)
+	}
+	rows := int(rows32)
+	switch c.Type {
+	case data.Float64:
+		payload, ok := r.take(rows * 8)
+		if !ok {
+			return nil, fmt.Errorf("%w: truncated float payload", ErrCorrupt)
+		}
+		c.Floats = make([]float64, rows)
+		for i := range c.Floats {
+			c.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+	case data.Int64:
+		payload, ok := r.take(rows * 8)
+		if !ok {
+			return nil, fmt.Errorf("%w: truncated int payload", ErrCorrupt)
+		}
+		c.Ints = make([]int64, rows)
+		for i := range c.Ints {
+			c.Ints[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+	case data.String:
+		c.Strings = make([]string, rows)
+		for i := range c.Strings {
+			n, ok := r.u32()
+			if !ok {
+				return nil, fmt.Errorf("%w: truncated string length", ErrCorrupt)
+			}
+			s, ok := r.take(int(n))
+			if !ok {
+				return nil, fmt.Errorf("%w: truncated string payload", ErrCorrupt)
+			}
+			c.Strings[i] = string(s)
+		}
+	case data.Bool:
+		payload, ok := r.take(rows)
+		if !ok {
+			return nil, fmt.Errorf("%w: truncated bool payload", ErrCorrupt)
+		}
+		c.Bools = make([]bool, rows)
+		for i, v := range payload {
+			if v > 1 {
+				return nil, fmt.Errorf("%w: non-canonical bool byte %d", ErrCorrupt, v)
+			}
+			c.Bools[i] = v == 1
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown dtype %d", ErrCorrupt, dt[0])
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-r.off)
+	}
+	return c, nil
+}

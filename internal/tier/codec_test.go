@@ -1,0 +1,103 @@
+package tier
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func sampleColumns() []*data.Column {
+	f := data.NewFloatColumn("f", []float64{1.5, math.NaN(), -0, math.Inf(1)})
+	i := data.NewIntColumn("i", []int64{-1, 0, 42, math.MaxInt64})
+	s := data.NewStringColumn("s", []string{"", "a", "héllo", "x\x00y"})
+	b := data.NewBoolColumn("b", []bool{true, false, true, true})
+	empty := data.NewFloatColumn("empty", nil)
+	return []*data.Column{f, i, s, b, empty}
+}
+
+func TestColumnCodecRoundTrip(t *testing.T) {
+	for _, c := range sampleColumns() {
+		enc, err := EncodeColumn(c)
+		if err != nil {
+			t.Fatalf("encode %s: %v", c.Name, err)
+		}
+		got, err := DecodeColumn(enc)
+		if err != nil {
+			t.Fatalf("decode %s: %v", c.Name, err)
+		}
+		if got.ID != c.ID || got.Name != c.Name || got.Type != c.Type || got.Len() != c.Len() {
+			t.Fatalf("%s: identity mismatch: got %+v", c.Name, got)
+		}
+		for r := 0; r < c.Len(); r++ {
+			if c.Type == data.Float64 {
+				if math.Float64bits(got.Floats[r]) != math.Float64bits(c.Floats[r]) {
+					t.Fatalf("%s row %d: float bits differ", c.Name, r)
+				}
+				continue
+			}
+			if got.StringAt(r) != c.StringAt(r) {
+				t.Fatalf("%s row %d: %q != %q", c.Name, r, got.StringAt(r), c.StringAt(r))
+			}
+		}
+		// Canonical: re-encoding the decoded column is byte-identical.
+		re, err := EncodeColumn(got)
+		if err != nil {
+			t.Fatalf("re-encode %s: %v", c.Name, err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("%s: encoding not canonical", c.Name)
+		}
+	}
+}
+
+func TestColumnCodecDetectsCorruption(t *testing.T) {
+	c := data.NewFloatColumn("f", []float64{1, 2, 3, 4, 5})
+	enc, err := EncodeColumn(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-byte flip must be detected.
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x41
+		if _, err := DecodeColumn(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d not detected (err=%v)", i, err)
+		}
+	}
+	// Truncation at every length must be detected.
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeColumn(enc[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes not detected (err=%v)", n, err)
+		}
+	}
+	// Trailing garbage must be detected.
+	if _, err := DecodeColumn(append(append([]byte(nil), enc...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte not detected (err=%v)", err)
+	}
+}
+
+func TestManifestCodecRoundTrip(t *testing.T) {
+	man := manifest{colIDs: []string{"c1", "c2"}, names: []string{"a", "b"}}
+	enc, err := encodeManifest("vertex/with weird:chars", man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vid, got, err := decodeManifest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vid != "vertex/with weird:chars" || len(got.colIDs) != 2 ||
+		got.colIDs[1] != "c2" || got.names[0] != "a" {
+		t.Fatalf("round trip mismatch: %q %+v", vid, got)
+	}
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0xFF
+		if _, _, err := decodeManifest(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("manifest flip at %d not detected", i)
+		}
+	}
+}
