@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fmt-check lint-logs bench bench-json bench-store fuzz cover ci
+.PHONY: build vet test race fmt-check lint-logs bench bench-json bench-store bench-check fuzz cover ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,19 @@ bench-store:
 	@rm -f BENCH_store.txt
 	@echo "wrote BENCH_store.json"
 
+# bench-check reruns the benchmark suite and compares it against the
+# committed baselines (BENCH_exec.json, BENCH_store.json) within ±30%.
+# Regressions warn by default; BENCH_STRICT=1 makes them fatal.
+bench-check:
+	@$(GO) test -run=NONE -bench=. -benchtime=1x ./... > BENCH_check.txt
+	@awk 'BEGIN { print "[" } \
+		/^Benchmark/ { if (n++) printf ",\n"; \
+			printf "  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s}", $$1, $$2, $$3 } \
+		END { print "\n]" }' BENCH_check.txt > BENCH_check.json
+	@rm -f BENCH_check.txt
+	@$(GO) run ./cmd/benchcheck -new BENCH_check.json BENCH_exec.json BENCH_store.json; \
+		status=$$?; rm -f BENCH_check.json; exit $$status
+
 # fuzz replays the committed seed corpus and explores the on-disk column
 # codec for a short budget (corruption must never decode successfully).
 fuzz:
@@ -60,11 +73,24 @@ lint-logs:
 	if [ -n "$$out" ]; then \
 		echo "unstructured logging in server paths (use log/slog):"; echo "$$out"; exit 1; \
 	fi
+	@out="$$(grep -rn --include='*.go' --exclude='*_test.go' -E '\btime\.Now\(\)' $(TIME_LINT_DIRS) || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "raw time.Now() in server paths (use obs.StartTimer/obs.Timestamp so calibration and tracing share one clock discipline):"; echo "$$out"; exit 1; \
+	fi
+
+# Server packages must take timestamps through internal/obs's sanctioned
+# helpers (Stopwatch, Timestamp) rather than raw time.Now(), so measured
+# durations feed calibration and tracing uniformly. internal/obs itself
+# hosts the helpers and is exempt.
+TIME_LINT_DIRS = internal/core internal/remote internal/explain \
+	internal/reuse internal/materialize internal/eg internal/store
 
 # cover runs the full test suite with per-package coverage summaries.
 cover:
 	$(GO) test -cover ./...
 
 # ci is the tier-1 gate: build, vet, formatting, log hygiene, tests with
-# coverage (cover subsumes plain `test`), race tests.
-ci: build vet fmt-check lint-logs cover race
+# coverage (cover subsumes plain `test`), race tests, and a benchmark
+# comparison against the committed baselines (warn-only unless
+# BENCH_STRICT=1).
+ci: build vet fmt-check lint-logs cover race bench-check

@@ -1,0 +1,133 @@
+// Command benchcheck compares a fresh benchmark run against committed
+// baselines and reports regressions beyond a tolerance.
+//
+// Usage:
+//
+//	benchcheck -new BENCH_check.json [-tolerance 0.30] [-strict] \
+//	    BENCH_exec.json [BENCH_store.json ...]
+//
+// Inputs are the JSON files written by `make bench-json` / `make
+// bench-store`: an array of {"name", "iterations", "ns_per_op"} objects.
+// Benchmark names are normalized by stripping the trailing -<GOMAXPROCS>
+// suffix so runs from machines with different core counts compare.
+//
+// A benchmark regresses when its fresh ns/op exceeds the baseline by more
+// than the tolerance (default ±30%). Regressions are always reported;
+// they fail the run (exit 1) only with -strict or BENCH_STRICT=1 in the
+// environment, so CI warns by default and release gates can opt into
+// hard enforcement.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type benchResult struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+func main() {
+	newFile := flag.String("new", "", "fresh benchmark results JSON (required)")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional slowdown before a benchmark counts as regressed")
+	strict := flag.Bool("strict", false, "exit non-zero on regressions (also enabled by BENCH_STRICT=1)")
+	flag.Parse()
+	if *newFile == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck -new FILE [-tolerance 0.30] [-strict] BASELINE.json ...")
+		os.Exit(2)
+	}
+
+	fresh, err := loadResults(*newFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	baseline := map[string]benchResult{}
+	for _, path := range flag.Args() {
+		results, err := loadResults(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		for name, r := range results {
+			baseline[name] = r
+		}
+	}
+
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressed, compared, unmatched int
+	for _, name := range names {
+		got := fresh[name]
+		base, ok := baseline[name]
+		if !ok || base.NsPerOp <= 0 {
+			unmatched++
+			continue
+		}
+		compared++
+		ratio := got.NsPerOp / base.NsPerOp
+		if ratio > 1+*tolerance {
+			regressed++
+			fmt.Printf("REGRESSED %-50s %12.0f -> %12.0f ns/op (%.2fx, tolerance %.2fx)\n",
+				name, base.NsPerOp, got.NsPerOp, ratio, 1+*tolerance)
+		} else if ratio < 1-*tolerance {
+			fmt.Printf("improved  %-50s %12.0f -> %12.0f ns/op (%.2fx)\n",
+				name, base.NsPerOp, got.NsPerOp, ratio)
+		}
+	}
+	fmt.Printf("benchcheck: %d compared, %d regressed, %d without baseline (tolerance ±%.0f%%)\n",
+		compared, regressed, unmatched, *tolerance*100)
+
+	if regressed > 0 {
+		if *strict || os.Getenv("BENCH_STRICT") == "1" {
+			os.Exit(1)
+		}
+		fmt.Println("benchcheck: warning only (set BENCH_STRICT=1 or -strict to fail on regressions)")
+	}
+}
+
+// loadResults reads one results file into a map keyed by normalized name.
+func loadResults(path string) (map[string]benchResult, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []benchResult
+	if err := json.Unmarshal(blob, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]benchResult, len(results))
+	for _, r := range results {
+		out[normalizeName(r.Name)] = r
+	}
+	return out, nil
+}
+
+// normalizeName strips the trailing -<digits> GOMAXPROCS suffix Go appends
+// to benchmark names, so baselines recorded on different machines match.
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, c := range suffix {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}

@@ -5,10 +5,11 @@
 //
 // Subcommands:
 //
-//	collab stats   -server URL
-//	collab explain -server URL [-format json|text|dot] [-kind optimize|update]
-//	collab kaggle  -server URL -workload N [-repeat K] [-scale S]
-//	collab openml  -server URL -n N [-warmstart]
+//	collab stats       -server URL
+//	collab explain     -server URL [-format json|text|dot] [-kind optimize|update]
+//	collab calibration -server URL [-json] [-fit TIER [-o FILE]]
+//	collab kaggle      -server URL -workload N [-repeat K] [-scale S]
+//	collab openml      -server URL -n N [-warmstart]
 package main
 
 import (
@@ -19,7 +20,9 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/graph"
@@ -44,6 +47,8 @@ func main() {
 		err = runStats(args)
 	case "explain":
 		err = runExplain(args)
+	case "calibration":
+		err = runCalibration(args)
 	case "kaggle":
 		err = runKaggle(args)
 	case "openml":
@@ -60,10 +65,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: collab <stats|explain|kaggle|openml|run> [flags]
+	fmt.Fprintln(os.Stderr, `usage: collab <stats|explain|calibration|kaggle|openml|run> [flags]
   stats   -server URL                              show server EG/store state
   explain -server URL [-format json|text|dot]      show the optimizer's last
           [-kind optimize|update] [-target plan|eg] decision trail
+  calibration -server URL [-json]                  show predicted-vs-measured
+          [-fit TIER [-o FILE]]                    cost calibration; -fit writes
+                                                   a refitted profile as JSON
   kaggle  -server URL -workload N [-repeat K]      run a Table-1 workload
   openml  -server URL -n N [-warmstart]            run OpenML-style pipelines
   run     -server URL -spec wl.json [-dot out.dot] run a declarative workload
@@ -223,6 +231,14 @@ func runStats(args []string) error {
 		float64(st.PhysicalBytes)/(1<<20), float64(st.LogicalBytes)/(1<<20))
 	fmt.Printf("tiers: %.2f MB memory, %.2f MB disk\n",
 		float64(st.MemoryBytes)/(1<<20), float64(st.DiskBytes)/(1<<20))
+	if st.Runs > 0 {
+		fmt.Printf("calibration: %d measured run(s), %.3fs wall total (last %.3fs), est saved %.3fs, last speedup %.2fx\n",
+			st.Runs, st.RunWallTime.Seconds(), st.LastRunWallTime.Seconds(),
+			st.EstimatedSavedSec, st.LastSpeedup)
+		if st.MaxDriftFamily != "" {
+			fmt.Printf("calibration drift: worst %s at %.3f\n", st.MaxDriftFamily, st.MaxDrift)
+		}
+	}
 	return nil
 }
 
@@ -253,6 +269,75 @@ func runExplain(args []string) error {
 	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("explain: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+// runCalibration prints the server's predicted-vs-measured cost report
+// (GET /v1/calibration). With -fit it instead extracts the least-squares
+// refitted profile for one load tier and writes it as cost profile JSON,
+// ready for collabd's -profile-file flag.
+func runCalibration(args []string) error {
+	fs := flag.NewFlagSet("calibration", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:7171", "collabd URL")
+	asJSON := fs.Bool("json", false, "print the raw JSON report instead of the table")
+	fitTier := fs.String("fit", "", "write the refitted profile for this load tier (memory|disk|remote)")
+	out := fs.String("o", "", "with -fit, write the profile JSON to this file instead of stdout")
+	_ = fs.Parse(args)
+
+	rc := newRemote(*server)
+	if *fitTier != "" {
+		report, err := rc.CalibrationE()
+		if err != nil {
+			return err
+		}
+		for _, fit := range report.Fits {
+			if fit.Tier != *fitTier {
+				continue
+			}
+			latency, err := time.ParseDuration(fit.Latency)
+			if err != nil {
+				return fmt.Errorf("calibration: bad fitted latency %q: %w", fit.Latency, err)
+			}
+			blob, err := cost.EncodeProfileJSON(cost.Profile{
+				Name:           "fitted:" + fit.Tier,
+				Latency:        latency,
+				BytesPerSecond: fit.BytesPerSecond,
+			})
+			if err != nil {
+				return err
+			}
+			if *out == "" {
+				_, err = os.Stdout.Write(blob)
+				return err
+			}
+			if err := os.WriteFile(*out, blob, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote fitted %s profile (%d samples) to %s\n",
+				fit.Tier, fit.Samples, *out)
+			return nil
+		}
+		return fmt.Errorf("calibration: no fit for tier %q (needs >= %d observed fetches)",
+			*fitTier, calib.MinFitSamples)
+	}
+
+	format := "text"
+	if *asJSON {
+		format = "json"
+	}
+	resp, err := http.Get(*server + "/v1/calibration?format=" + format)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("calibration: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
 	_, err = os.Stdout.Write(body)
 	return err
@@ -298,8 +383,9 @@ func runKaggle(args []string) error {
 				return fmt.Errorf("workload %d run %d transport: %w", wl.ID, r, terr)
 			}
 			of.record(res)
-			fmt.Printf("W%d run %d: %.3fs (executed %d, reused %d, plan overhead %s)\n",
-				wl.ID, r, res.RunTime.Seconds(), res.Executed, res.Reused, res.OptimizeOverhead)
+			fmt.Printf("W%d run %d: %.3fs wall %.3fs (executed %d, reused %d, plan overhead %s)\n",
+				wl.ID, r, res.RunTime.Seconds(), res.WallTime.Seconds(),
+				res.Executed, res.Reused, res.OptimizeOverhead)
 		}
 	}
 	return nil
@@ -352,8 +438,9 @@ func runSpec(args []string) error {
 		return fmt.Errorf("transport: %w", terr)
 	}
 	of.record(res)
-	fmt.Printf("ran %s: %.3fs (executed %d, reused %d, warmstarted %d)\n",
-		*specPath, res.RunTime.Seconds(), res.Executed, res.Reused, res.Warmstarted)
+	fmt.Printf("ran %s: %.3fs wall %.3fs (executed %d, reused %d, warmstarted %d)\n",
+		*specPath, res.RunTime.Seconds(), res.WallTime.Seconds(),
+		res.Executed, res.Reused, res.Warmstarted)
 	for _, step := range wl.Steps {
 		n := nodes[step.ID]
 		if agg, ok := n.Content.(*graph.AggregateArtifact); ok {
@@ -414,8 +501,9 @@ func runOpenML(args []string) error {
 			return fmt.Errorf("pipeline %d transport: %w", i, terr)
 		}
 		of.record(res)
-		fmt.Printf("pipeline %3d %-22s %.3fs quality=%.3f (executed %d, reused %d, warmstarted %d)\n",
-			i, p, res.RunTime.Seconds(), openml.ModelQuality(w), res.Executed, res.Reused, res.Warmstarted)
+		fmt.Printf("pipeline %3d %-22s %.3fs wall %.3fs quality=%.3f (executed %d, reused %d, warmstarted %d)\n",
+			i, p, res.RunTime.Seconds(), res.WallTime.Seconds(),
+			openml.ModelQuality(w), res.Executed, res.Reused, res.Warmstarted)
 	}
 	return nil
 }

@@ -19,6 +19,10 @@
 // -explain N keeps the last N optimizer decision records exported at
 // /v1/explain; -pprof mounts net/http/pprof under /debug/pprof/.
 //
+// -profile-file loads the cost profile from a JSON file — typically one
+// refitted from measurements by `collab calibration -fit TIER` — instead
+// of the named -profile preset.
+//
 // All logging is structured (log/slog); every request-scoped line carries
 // the request_id propagated from the client's X-Collab-Request header.
 package main
@@ -54,6 +58,7 @@ func main() {
 		planner    = flag.String("planner", "ln", "reuse planner: ln|hl|allm|allc")
 		alpha      = flag.Float64("alpha", 0.5, "utility weight of model quality (0..1)")
 		profile    = flag.String("profile", "memory", "storage profile: memory|disk|remote")
+		profFile   = flag.String("profile-file", "", "load the cost profile from a JSON file (e.g. collab calibration -fit output); overrides -profile")
 		warmstart  = flag.Bool("warmstart", true, "enable warmstart donor search")
 		dataDir    = flag.String("data-dir", "", "directory for persistent state (empty: -store-dir, else in-memory only)")
 		storeDir   = flag.String("store-dir", "", "directory for the durable artifact tier (empty: memory-only store)")
@@ -81,6 +86,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *profFile != "" {
+		blob, err := os.ReadFile(*profFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collabd: -profile-file:", err)
+			os.Exit(2)
+		}
+		prof, err = cost.ParseProfileJSON(blob)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collabd: -profile-file:", err)
+			os.Exit(2)
+		}
+		logger.Info("cost profile loaded", "file", *profFile, "name", prof.Name,
+			"latency", prof.Latency, "bytes_per_second", prof.BytesPerSecond)
 	}
 	cfg := materialize.Config{Alpha: *alpha, Profile: prof}
 	strat, err := strategyByName(*strategy, cfg)

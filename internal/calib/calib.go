@@ -1,0 +1,441 @@
+// Package calib closes the loop on the paper's cost model: the reuse
+// planner and materializer decide everything from predicted costs — Cl(v)
+// from the artifact tier's cost.Profile and Cr(v) from the Experiment
+// Graph — but nothing in the original system checks those predictions
+// against reality. The collector here records, for every fetched or
+// executed vertex, the predicted cost next to the measured duration,
+// aggregated online per cost family ("load:<tier>", "compute:<op>") with
+// count, means, p50/p95 (via obs.Sketch), a relative-error distribution,
+// and an exponentially-weighted drift signal. A per-request scorecard
+// quantifies optimizer quality: estimated time saved by reuse, realized
+// speedup versus the naive all-compute plan, and regret when the
+// prediction was wrong. FitProfile turns accumulated (size, duration)
+// samples back into a least-squares cost.Profile operators can feed into
+// collabd, completing the calibration cycle.
+package calib
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/obs"
+)
+
+// DriftThreshold is the drift level above which a cost family is flagged
+// in reports: an EWMA relative error of 0.5 means predictions are off by
+// 50% on recent observations, enough to distort plan choices.
+const DriftThreshold = 0.5
+
+// driftAlpha is the EWMA smoothing factor for the drift signal. 0.2 keeps
+// roughly the last ~10 observations dominant.
+const driftAlpha = 0.2
+
+// maxFamilies bounds the collector's memory: beyond this, compute
+// observations fold into the "compute:other" family instead of growing
+// the map without bound (operation names are caller-controlled).
+const maxFamilies = 64
+
+// fitSampleCap bounds the per-family (bytes, seconds) ring used by
+// FitProfile.
+const fitSampleCap = 512
+
+// minFloor guards divisions by near-zero measured durations.
+const minFloor = 1e-9
+
+// Sample is one (size, measured duration) observation used for profile
+// fitting.
+type Sample struct {
+	Bytes     float64
+	ActualSec float64
+}
+
+// family aggregates predicted-vs-actual for one cost family.
+type family struct {
+	count        int64
+	predictedSum float64
+	actualSum    float64
+	bytesSum     float64
+	relErrSum    float64
+	drift        float64
+	actual       *obs.Sketch
+	relErr       *obs.Sketch
+
+	// samples is a bounded ring of (bytes, seconds) pairs for FitProfile;
+	// only load families populate it.
+	samples []Sample
+	next    int
+}
+
+func newFamily() *family {
+	return &family{actual: obs.NewSketch(0), relErr: obs.NewSketch(0)}
+}
+
+// observe folds one (predicted, actual) pair into the family.
+func (f *family) observe(bytes, predictedSec, actualSec float64, keepSample bool) {
+	f.count++
+	f.predictedSum += predictedSec
+	f.actualSum += actualSec
+	f.bytesSum += bytes
+	denom := actualSec
+	if denom < minFloor {
+		denom = minFloor
+	}
+	relErr := predictedSec - actualSec
+	if relErr < 0 {
+		relErr = -relErr
+	}
+	relErr /= denom
+	f.relErrSum += relErr
+	if f.count == 1 {
+		f.drift = relErr
+	} else {
+		f.drift = driftAlpha*relErr + (1-driftAlpha)*f.drift
+	}
+	f.actual.Observe(actualSec)
+	f.relErr.Observe(relErr)
+	if !keepSample {
+		return
+	}
+	if len(f.samples) < fitSampleCap {
+		f.samples = append(f.samples, Sample{Bytes: bytes, ActualSec: actualSec})
+	} else {
+		f.samples[f.next] = Sample{Bytes: bytes, ActualSec: actualSec}
+		f.next = (f.next + 1) % fitSampleCap
+	}
+}
+
+// Collector aggregates calibration observations. The zero value is not
+// ready; use NewCollector. All methods are safe for concurrent use, and
+// every method is nil-safe so callers without calibration skip all work.
+type Collector struct {
+	mu       sync.Mutex
+	families map[string]*family
+
+	runs         int64
+	wallSum      float64
+	lastWall     float64
+	savedSum     float64
+	fetchSum     float64
+	lastSpeedup  float64
+	last         *Scorecard
+	clampedTiers int64
+}
+
+// NewCollector builds an empty collector.
+func NewCollector() *Collector {
+	return &Collector{families: make(map[string]*family)}
+}
+
+// TierFamily normalizes a fetch tier label into a load family name. Labels
+// like "remote:disk" (client-side transfer from a server disk tier)
+// collapse to the transfer medium, which is what the cost profile priced.
+func TierFamily(tier string) string {
+	if i := strings.IndexByte(tier, ':'); i >= 0 {
+		tier = tier[:i]
+	}
+	if tier == "" {
+		tier = "unknown"
+	}
+	return "load:" + tier
+}
+
+// OpFamily normalizes an operation name into a compute family name.
+func OpFamily(op string) string {
+	if op == "" {
+		op = "other"
+	}
+	return "compute:" + op
+}
+
+// ObserveLoad records one artifact fetch: predicted Cl from the planner
+// against the measured fetch duration, keyed by the tier the bytes came
+// from.
+func (c *Collector) ObserveLoad(tier string, sizeBytes int64, predicted, actual time.Duration) {
+	if c == nil {
+		return
+	}
+	c.observe(TierFamily(tier), float64(sizeBytes), predicted.Seconds(), actual.Seconds(), true)
+}
+
+// ObserveCompute records one vertex execution: the EG's predicted compute
+// time t(v) against the measured duration, keyed by operation family.
+func (c *Collector) ObserveCompute(op string, predicted, actual time.Duration) {
+	if c == nil {
+		return
+	}
+	c.observe(OpFamily(op), 0, predicted.Seconds(), actual.Seconds(), false)
+}
+
+func (c *Collector) observe(key string, bytes, predictedSec, actualSec float64, keepSample bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.families[key]
+	if !ok {
+		if len(c.families) >= maxFamilies {
+			c.clampedTiers++
+			key = "compute:other"
+			if f, ok = c.families[key]; !ok {
+				// The cap counts "compute:other" itself; make room for it.
+				f = newFamily()
+				c.families[key] = f
+			}
+		} else {
+			f = newFamily()
+			c.families[key] = f
+		}
+	}
+	f.observe(bytes, predictedSec, actualSec, keepSample)
+}
+
+// RecordScorecard folds one request's scorecard into the running totals
+// and keeps it as the most recent card.
+func (c *Collector) RecordScorecard(sc Scorecard) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runs++
+	c.savedSum += sc.EstimatedSavedSec
+	c.fetchSum += sc.FetchActualSec
+	c.wallSum += sc.WallSec
+	c.lastWall = sc.WallSec
+	if sc.Speedup > 0 {
+		c.lastSpeedup = sc.Speedup
+	}
+	copied := sc
+	c.last = &copied
+}
+
+// Runs returns the number of scorecards recorded.
+func (c *Collector) Runs() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs
+}
+
+// WallSeconds returns cumulative and most-recent run wall-clock seconds.
+func (c *Collector) WallSeconds() (total, last float64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wallSum, c.lastWall
+}
+
+// EstimatedSavedSeconds returns the cumulative estimated reuse savings.
+func (c *Collector) EstimatedSavedSeconds() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.savedSum
+}
+
+// FetchActualSeconds returns cumulative measured fetch time across runs.
+func (c *Collector) FetchActualSeconds() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fetchSum
+}
+
+// LastSpeedup returns the most recent realized speedup (0 until a run
+// with reuse completes).
+func (c *Collector) LastSpeedup() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSpeedup
+}
+
+// LastScorecard returns a copy of the most recent scorecard, or nil.
+func (c *Collector) LastScorecard() *Scorecard {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.last == nil {
+		return nil
+	}
+	copied := *c.last
+	return &copied
+}
+
+// LoadObservations returns the observation count for one load tier.
+func (c *Collector) LoadObservations(tier string) int64 {
+	return c.familyCount(TierFamily(tier))
+}
+
+// LoadMeanAbsRelErr returns the mean |predicted-actual|/actual for one
+// load tier (0 when unobserved).
+func (c *Collector) LoadMeanAbsRelErr(tier string) float64 {
+	return c.familyMeanRelErr(TierFamily(tier))
+}
+
+// LoadDrift returns the EWMA drift for one load tier.
+func (c *Collector) LoadDrift(tier string) float64 {
+	return c.familyDrift(TierFamily(tier))
+}
+
+// ComputeObservations returns the observation count across all compute
+// families.
+func (c *Collector) ComputeObservations() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for key, f := range c.families {
+		if strings.HasPrefix(key, "compute:") {
+			n += f.count
+		}
+	}
+	return n
+}
+
+// ComputeMeanAbsRelErr returns the observation-weighted mean relative
+// error across compute families.
+func (c *Collector) ComputeMeanAbsRelErr() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	var sum float64
+	for key, f := range c.families {
+		if strings.HasPrefix(key, "compute:") {
+			n += f.count
+			sum += f.relErrSum
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ComputeMaxDrift returns the largest drift across compute families.
+func (c *Collector) ComputeMaxDrift() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var max float64
+	for key, f := range c.families {
+		if strings.HasPrefix(key, "compute:") && f.drift > max {
+			max = f.drift
+		}
+	}
+	return max
+}
+
+// MaxDrift returns the family with the largest drift signal and its value
+// ("" and 0 when nothing has been observed).
+func (c *Collector) MaxDrift() (string, float64) {
+	if c == nil {
+		return "", 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name, max := "", 0.0
+	for key, f := range c.families {
+		// Ties break deterministically toward the lexically smaller name.
+		if f.drift > max || (f.drift == max && f.drift > 0 && (name == "" || key < name)) {
+			name, max = key, f.drift
+		}
+	}
+	return name, max
+}
+
+// FitSamples returns a copy of the retained (bytes, seconds) samples for
+// one load tier.
+func (c *Collector) FitSamples(tier string) []Sample {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.families[TierFamily(tier)]
+	if !ok {
+		return nil
+	}
+	out := make([]Sample, len(f.samples))
+	copy(out, f.samples)
+	return out
+}
+
+// FitFor fits a cost.Profile from one load tier's observations; ok is
+// false when the tier has too few samples.
+func (c *Collector) FitFor(tier string) (cost.Profile, bool) {
+	return FitProfile(tier, c.FitSamples(tier))
+}
+
+// LoadTiers lists the load tiers observed so far, sorted.
+func (c *Collector) LoadTiers() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var tiers []string
+	for key := range c.families {
+		if t, ok := strings.CutPrefix(key, "load:"); ok {
+			tiers = append(tiers, t)
+		}
+	}
+	sort.Strings(tiers)
+	return tiers
+}
+
+func (c *Collector) familyCount(key string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.families[key]; ok {
+		return f.count
+	}
+	return 0
+}
+
+func (c *Collector) familyMeanRelErr(key string) float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.families[key]; ok && f.count > 0 {
+		return f.relErrSum / float64(f.count)
+	}
+	return 0
+}
+
+func (c *Collector) familyDrift(key string) float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.families[key]; ok {
+		return f.drift
+	}
+	return 0
+}

@@ -1,0 +1,302 @@
+package calib
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// -update rewrites the golden files from current output.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestTierAndOpFamilies(t *testing.T) {
+	cases := map[string]string{
+		"memory":      "load:memory",
+		"disk":        "load:disk",
+		"remote":      "load:remote",
+		"remote:disk": "load:remote",
+		"":            "load:unknown",
+	}
+	for in, want := range cases {
+		if got := TierFamily(in); got != want {
+			t.Errorf("TierFamily(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := OpFamily("train"); got != "compute:train" {
+		t.Errorf("OpFamily = %q", got)
+	}
+	if got := OpFamily(""); got != "compute:other" {
+		t.Errorf("OpFamily(\"\") = %q", got)
+	}
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := NewCollector()
+	// Predictions exactly 2x actual: mean abs rel err must be 1.0.
+	for i := 0; i < 10; i++ {
+		c.ObserveLoad("memory", 1000, 20*time.Millisecond, 10*time.Millisecond)
+	}
+	if got := c.LoadObservations("memory"); got != 10 {
+		t.Fatalf("LoadObservations = %d, want 10", got)
+	}
+	if got := c.LoadMeanAbsRelErr("memory"); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("LoadMeanAbsRelErr = %v, want 1.0", got)
+	}
+	// Constant rel err: EWMA converges to the same value.
+	if got := c.LoadDrift("memory"); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("LoadDrift = %v, want 1.0", got)
+	}
+	// Unobserved tiers report zeros.
+	if c.LoadObservations("disk") != 0 || c.LoadDrift("disk") != 0 {
+		t.Error("unobserved tier should report zeros")
+	}
+
+	c.ObserveCompute("train", 50*time.Millisecond, 100*time.Millisecond)
+	c.ObserveCompute("join", 10*time.Millisecond, 10*time.Millisecond)
+	if got := c.ComputeObservations(); got != 2 {
+		t.Fatalf("ComputeObservations = %d, want 2", got)
+	}
+	// train: |50-100|/100 = 0.5; join: 0. Weighted mean = 0.25.
+	if got := c.ComputeMeanAbsRelErr(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("ComputeMeanAbsRelErr = %v, want 0.25", got)
+	}
+	if got := c.ComputeMaxDrift(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("ComputeMaxDrift = %v, want 0.5", got)
+	}
+	name, drift := c.MaxDrift()
+	if name != "load:memory" || math.Abs(drift-1.0) > 1e-9 {
+		t.Errorf("MaxDrift = (%q, %v), want (load:memory, 1.0)", name, drift)
+	}
+}
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	c.ObserveLoad("memory", 1, time.Millisecond, time.Millisecond)
+	c.ObserveCompute("op", time.Millisecond, time.Millisecond)
+	c.RecordScorecard(Scorecard{})
+	if c.Runs() != 0 || c.LastScorecard() != nil || c.LoadTiers() != nil {
+		t.Fatal("nil collector should be inert")
+	}
+	r := c.Snapshot()
+	if r == nil || len(r.Families) != 0 {
+		t.Fatal("nil collector snapshot should be empty, not nil")
+	}
+}
+
+func TestCollectorFamilyCap(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < maxFamilies+20; i++ {
+		c.ObserveCompute(strings.Repeat("x", i+1), time.Millisecond, time.Millisecond)
+	}
+	c.mu.Lock()
+	n := len(c.families)
+	overflow := c.families["compute:other"]
+	c.mu.Unlock()
+	if n > maxFamilies+1 {
+		t.Fatalf("family map grew to %d, cap is %d", n, maxFamilies)
+	}
+	if overflow == nil || overflow.count == 0 {
+		t.Fatal("overflow observations should fold into compute:other")
+	}
+}
+
+func TestScorecardMath(t *testing.T) {
+	sc := NewScorecard("req-1", 3, 2,
+		800*time.Millisecond, // recreation Cr of reused set
+		100*time.Millisecond, // measured fetch
+		400*time.Millisecond) // measured compute
+	if math.Abs(sc.EstimatedSavedSec-0.7) > 1e-9 {
+		t.Errorf("EstimatedSavedSec = %v, want 0.7", sc.EstimatedSavedSec)
+	}
+	if math.Abs(sc.NaiveSec-1.2) > 1e-9 {
+		t.Errorf("NaiveSec = %v, want 1.2", sc.NaiveSec)
+	}
+	if math.Abs(sc.ActualSec-0.5) > 1e-9 {
+		t.Errorf("ActualSec = %v, want 0.5", sc.ActualSec)
+	}
+	if math.Abs(sc.Speedup-2.4) > 1e-9 {
+		t.Errorf("Speedup = %v, want 2.4", sc.Speedup)
+	}
+
+	// No reuse, nothing measured: speedup pins to 1, not NaN.
+	idle := NewScorecard("req-2", 0, 0, 0, 0, 0)
+	if idle.Speedup != 1 {
+		t.Errorf("idle Speedup = %v, want 1", idle.Speedup)
+	}
+}
+
+func TestRecordScorecardTotals(t *testing.T) {
+	c := NewCollector()
+	a := NewScorecard("a", 1, 1, time.Second, 100*time.Millisecond, time.Second)
+	a.WallSec = 0.75
+	b := NewScorecard("b", 2, 0, 2*time.Second, 200*time.Millisecond, 0)
+	b.WallSec = 0.25
+	c.RecordScorecard(a)
+	c.RecordScorecard(b)
+	if c.Runs() != 2 {
+		t.Fatalf("Runs = %d, want 2", c.Runs())
+	}
+	total, last := c.WallSeconds()
+	if math.Abs(total-1.0) > 1e-9 || math.Abs(last-0.25) > 1e-9 {
+		t.Errorf("WallSeconds = (%v, %v), want (1.0, 0.25)", total, last)
+	}
+	if got := c.EstimatedSavedSeconds(); math.Abs(got-(0.9+1.8)) > 1e-9 {
+		t.Errorf("EstimatedSavedSeconds = %v, want 2.7", got)
+	}
+	if got := c.FetchActualSeconds(); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("FetchActualSeconds = %v, want 0.3", got)
+	}
+	lastSC := c.LastScorecard()
+	if lastSC == nil || lastSC.RequestID != "b" {
+		t.Fatalf("LastScorecard = %+v, want request b", lastSC)
+	}
+	// The returned scorecard is a copy: mutating it must not leak back.
+	lastSC.RequestID = "mutated"
+	if got := c.LastScorecard(); got.RequestID != "b" {
+		t.Error("LastScorecard returned shared state")
+	}
+}
+
+func TestSnapshotDriftFlagAndFits(t *testing.T) {
+	c := NewCollector()
+	// Wildly overpredicted memory loads across varied sizes: flags drift
+	// and provides enough samples to fit.
+	for i := 1; i <= 20; i++ {
+		size := int64(i * 1000)
+		actual := time.Duration(i) * 10 * time.Microsecond
+		c.ObserveLoad("memory", size, 100*actual, actual)
+	}
+	// Well-calibrated compute family: no flag.
+	c.ObserveCompute("join", time.Millisecond, time.Millisecond)
+
+	r := c.Snapshot()
+	if len(r.Families) != 2 {
+		t.Fatalf("families = %d, want 2", len(r.Families))
+	}
+	if r.Families[0].Name != "compute:join" || r.Families[1].Name != "load:memory" {
+		t.Fatalf("families not sorted: %q, %q", r.Families[0].Name, r.Families[1].Name)
+	}
+	if len(r.DriftFlagged) != 1 || r.DriftFlagged[0] != "load:memory" {
+		t.Fatalf("DriftFlagged = %v, want [load:memory]", r.DriftFlagged)
+	}
+	if len(r.Fits) != 1 || r.Fits[0].Tier != "memory" {
+		t.Fatalf("Fits = %+v, want one memory fit", r.Fits)
+	}
+	if r.Fits[0].BytesPerSecond <= 0 {
+		t.Errorf("fitted bandwidth = %v, want > 0", r.Fits[0].BytesPerSecond)
+	}
+}
+
+func TestSnapshotConcurrentWithObserve(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.ObserveLoad("memory", int64(i), time.Millisecond, time.Millisecond)
+			c.ObserveCompute("op", time.Millisecond, time.Millisecond)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		_ = c.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// fixtureCollector builds a collector with fixed observations so report
+// and metrics renderings are deterministic.
+func fixtureCollector() *Collector {
+	c := NewCollector()
+	for i := 1; i <= 10; i++ {
+		size := int64(i * 4096)
+		actual := time.Duration(i) * 50 * time.Microsecond
+		c.ObserveLoad("memory", size, 4*actual, actual)
+	}
+	for i := 1; i <= 4; i++ {
+		size := int64(i * 1 << 20)
+		actual := time.Duration(i) * 3 * time.Millisecond
+		c.ObserveLoad("disk", size, actual+500*time.Microsecond, actual)
+	}
+	c.ObserveCompute("train", 80*time.Millisecond, 100*time.Millisecond)
+	c.ObserveCompute("train", 90*time.Millisecond, 100*time.Millisecond)
+	c.ObserveCompute("join", 5*time.Millisecond, 4*time.Millisecond)
+	sc := NewScorecard("req-fixture-01", 4, 2,
+		900*time.Millisecond, 30*time.Millisecond, 250*time.Millisecond)
+	sc.WallSec = 0.2
+	c.RecordScorecard(sc)
+	return c
+}
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run %s -update): %v", t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestReportGoldens(t *testing.T) {
+	r := fixtureCollector().Snapshot()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "report.json.golden", buf.Bytes())
+
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "report.text.golden", buf.Bytes())
+}
+
+func TestMetricsGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg, fixtureCollector())
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "metrics.prom.golden", buf.Bytes())
+}
+
+func TestMetricsNilCollectorSafe(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg, nil)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "collab_calib_runs 0") {
+		t.Errorf("nil collector should render zeros:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,83 @@
+package calib
+
+import (
+	"time"
+
+	"repro/internal/cost"
+)
+
+// MinFitSamples is the fewest observations FitProfile accepts: below this
+// a least-squares line is mostly noise.
+const MinFitSamples = 8
+
+// FitProfile least-squares-fits a cost.Profile (fixed latency plus 1/bandwidth
+// per byte) to measured (size, duration) samples: ordinary least squares of
+// seconds on bytes, where the intercept is the latency and the slope is
+// seconds-per-byte.
+//
+// Degenerate inputs fall back safely rather than producing a profile that
+// misprices everything:
+//   - all samples the same size (zero variance) → latency-only profile at
+//     the mean duration;
+//   - non-positive slope (durations uncorrelated or shrinking with size) →
+//     latency-only profile at the mean duration;
+//   - negative intercept (line crosses below zero) → zero latency with
+//     bandwidth through the means.
+//
+// In every branch the fitted profile predicts the mean duration exactly at
+// the mean size, so the fit is never worse than a constant model at the
+// centroid of the data.
+func FitProfile(tier string, samples []Sample) (cost.Profile, bool) {
+	if len(samples) < MinFitSamples {
+		return cost.Profile{}, false
+	}
+	n := float64(len(samples))
+	var sumX, sumY float64
+	for _, s := range samples {
+		sumX += s.Bytes
+		sumY += s.ActualSec
+	}
+	meanX, meanY := sumX/n, sumY/n
+	var varX, cov float64
+	for _, s := range samples {
+		dx := s.Bytes - meanX
+		varX += dx * dx
+		cov += dx * (s.ActualSec - meanY)
+	}
+	if meanY < 0 {
+		meanY = 0
+	}
+	name := "fitted:" + tier
+	latencyOnly := cost.Profile{Name: name, Latency: secToDuration(meanY)}
+	if varX <= 0 {
+		return latencyOnly, true
+	}
+	slope := cov / varX // seconds per byte
+	if slope <= 0 {
+		return latencyOnly, true
+	}
+	intercept := meanY - slope*meanX
+	if intercept < 0 {
+		// Proportional model through the centroid keeps the mean-point
+		// prediction exact with a physical (non-negative) latency.
+		intercept = 0
+		if meanX > 0 {
+			slope = meanY / meanX
+		}
+	}
+	if slope <= 0 {
+		return latencyOnly, true
+	}
+	return cost.Profile{
+		Name:           name,
+		Latency:        secToDuration(intercept),
+		BytesPerSecond: 1 / slope,
+	}, true
+}
+
+func secToDuration(sec float64) time.Duration {
+	if sec <= 0 {
+		return 0
+	}
+	return time.Duration(sec * float64(time.Second))
+}

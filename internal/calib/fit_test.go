@@ -1,0 +1,152 @@
+package calib
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+)
+
+// synthSamples prices sizes under truth and perturbs each duration by a
+// deterministic multiplicative noise in [1-noise, 1+noise].
+func synthSamples(truth cost.Profile, sizes []int64, noise float64) []Sample {
+	state := uint64(0x1234_5678_9ABC_DEF0)
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state>>11) / float64(1<<53) // [0,1)
+	}
+	out := make([]Sample, 0, len(sizes))
+	for _, sz := range sizes {
+		sec := truth.LoadCost(sz).Seconds()
+		sec *= 1 + noise*(2*next()-1)
+		out = append(out, Sample{Bytes: float64(sz), ActualSec: sec})
+	}
+	return out
+}
+
+func TestFitProfileRecoversSyntheticProfile(t *testing.T) {
+	truth := cost.Profile{Name: "synth", Latency: 2 * time.Millisecond, BytesPerSecond: 250e6}
+	var sizes []int64
+	for i := 1; i <= 64; i++ {
+		sizes = append(sizes, int64(i)*1<<20)
+	}
+	fit, ok := FitProfile("synth", synthSamples(truth, sizes, 0.05))
+	if !ok {
+		t.Fatal("FitProfile rejected well-formed samples")
+	}
+	// Property: predictions of the fitted profile stay within 20% of the
+	// true profile across the observed size range.
+	for _, sz := range sizes {
+		want := truth.LoadCost(sz).Seconds()
+		got := fit.LoadCost(sz).Seconds()
+		if rel := math.Abs(got-want) / want; rel > 0.20 {
+			t.Fatalf("size %d: fitted %.6fs vs true %.6fs (rel err %.3f)", sz, got, want, rel)
+		}
+	}
+	if rel := math.Abs(fit.BytesPerSecond-truth.BytesPerSecond) / truth.BytesPerSecond; rel > 0.25 {
+		t.Errorf("fitted bandwidth %.0f vs true %.0f (rel err %.3f)", fit.BytesPerSecond, truth.BytesPerSecond, rel)
+	}
+}
+
+func TestFitProfilePropertyAcrossProfiles(t *testing.T) {
+	profiles := []cost.Profile{
+		{Name: "mem", Latency: 20 * time.Microsecond, BytesPerSecond: 8e9},
+		{Name: "ssd", Latency: 3 * time.Millisecond, BytesPerSecond: 500e6},
+		{Name: "net", Latency: 40 * time.Millisecond, BytesPerSecond: 100e6},
+	}
+	var sizes []int64
+	for i := 1; i <= 32; i++ {
+		sizes = append(sizes, int64(i*i)*1<<18) // quadratic spread
+	}
+	for _, truth := range profiles {
+		fit, ok := FitProfile(truth.Name, synthSamples(truth, sizes, 0.02))
+		if !ok {
+			t.Fatalf("%s: fit rejected", truth.Name)
+		}
+		// Within 20% relative, with a 1ms absolute floor: a near-zero
+		// latency (memory profile) is ill-conditioned to recover from
+		// samples dominated by multi-ms transfers, and a sub-ms absolute
+		// miss cannot distort plan choices.
+		for _, sz := range sizes {
+			want := truth.LoadCost(sz).Seconds()
+			got := fit.LoadCost(sz).Seconds()
+			if diff := math.Abs(got - want); diff > 0.20*want && diff > 0.001 {
+				t.Fatalf("%s size %d: fitted %.6fs vs true %.6fs", truth.Name, sz, got, want)
+			}
+		}
+		if rel := math.Abs(fit.BytesPerSecond-truth.BytesPerSecond) / truth.BytesPerSecond; rel > 0.20 {
+			t.Errorf("%s: fitted bandwidth %.0f vs true %.0f (rel err %.3f)",
+				truth.Name, fit.BytesPerSecond, truth.BytesPerSecond, rel)
+		}
+	}
+}
+
+func TestFitProfileTooFewSamples(t *testing.T) {
+	samples := []Sample{{Bytes: 1, ActualSec: 1}}
+	if _, ok := FitProfile("x", samples); ok {
+		t.Fatal("FitProfile accepted fewer than MinFitSamples")
+	}
+}
+
+func TestFitProfileConstantSizeFallsBackToLatency(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 10; i++ {
+		samples = append(samples, Sample{Bytes: 4096, ActualSec: 0.010})
+	}
+	fit, ok := FitProfile("const", samples)
+	if !ok {
+		t.Fatal("fit rejected")
+	}
+	if fit.BytesPerSecond != 0 {
+		t.Errorf("constant-size fit should be latency-only, got bandwidth %v", fit.BytesPerSecond)
+	}
+	if got := fit.LoadCost(4096); math.Abs(got.Seconds()-0.010) > 1e-9 {
+		t.Errorf("latency-only fit predicts %v at mean size, want 10ms", got)
+	}
+}
+
+func TestFitProfileNegativeSlopeFallsBack(t *testing.T) {
+	// Durations shrinking with size: slope <= 0 must not produce a
+	// negative bandwidth.
+	var samples []Sample
+	for i := 1; i <= 10; i++ {
+		samples = append(samples, Sample{Bytes: float64(i * 1000), ActualSec: 1.0 / float64(i)})
+	}
+	fit, ok := FitProfile("weird", samples)
+	if !ok {
+		t.Fatal("fit rejected")
+	}
+	if fit.BytesPerSecond != 0 || fit.Latency <= 0 {
+		t.Errorf("negative-slope fit = %+v, want latency-only", fit)
+	}
+}
+
+func TestFitProfileNegativeInterceptClampsToZeroLatency(t *testing.T) {
+	// A steep line through points far from the origin: OLS intercept is
+	// negative, so the fit must clamp to zero latency and stay exact at
+	// the centroid.
+	var samples []Sample
+	for i := 0; i < 10; i++ {
+		x := float64(100_000 + i*1000)
+		samples = append(samples, Sample{Bytes: x, ActualSec: x*1e-6 - 0.05})
+	}
+	fit, ok := FitProfile("steep", samples)
+	if !ok {
+		t.Fatal("fit rejected")
+	}
+	if fit.Latency < 0 {
+		t.Fatalf("negative latency: %v", fit.Latency)
+	}
+	var meanX, meanY float64
+	for _, s := range samples {
+		meanX += s.Bytes / float64(len(samples))
+		meanY += s.ActualSec / float64(len(samples))
+	}
+	got := fit.LoadCost(int64(meanX)).Seconds()
+	if math.Abs(got-meanY)/meanY > 1e-6 {
+		t.Errorf("centroid prediction %.9f, want %.9f", got, meanY)
+	}
+}

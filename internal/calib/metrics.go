@@ -1,0 +1,57 @@
+package calib
+
+import "repro/internal/obs"
+
+// metricTiers are the load tiers exported as distinct metric families.
+// The obs registry is deliberately label-free, so per-tier series get
+// per-tier names; tiers outside this list still appear in /v1/calibration.
+var metricTiers = []string{"memory", "disk", "remote"}
+
+// RegisterMetrics installs the calibration gauge families on reg, all
+// backed by the collector so scrapes always see current aggregates:
+//
+//	collab_calib_load_<tier>_observations
+//	collab_calib_load_<tier>_mean_abs_rel_error
+//	collab_calib_load_<tier>_drift
+//	collab_calib_compute_observations
+//	collab_calib_compute_mean_abs_rel_error
+//	collab_calib_compute_drift
+//	collab_calib_runs
+//	collab_calib_estimated_saved_seconds_total
+//	collab_calib_actual_fetch_seconds_total
+//	collab_calib_last_speedup
+func RegisterMetrics(reg *obs.Registry, c *Collector) {
+	for _, tier := range metricTiers {
+		tier := tier
+		reg.GaugeFunc("collab_calib_load_"+tier+"_observations",
+			"Calibration observations for "+tier+"-tier artifact fetches.",
+			func() float64 { return float64(c.LoadObservations(tier)) })
+		reg.GaugeFunc("collab_calib_load_"+tier+"_mean_abs_rel_error",
+			"Mean |predicted-actual|/actual of "+tier+"-tier load costs.",
+			func() float64 { return c.LoadMeanAbsRelErr(tier) })
+		reg.GaugeFunc("collab_calib_load_"+tier+"_drift",
+			"EWMA relative error (drift signal) of "+tier+"-tier load costs.",
+			func() float64 { return c.LoadDrift(tier) })
+	}
+	reg.GaugeFunc("collab_calib_compute_observations",
+		"Calibration observations for vertex compute times, all op families.",
+		func() float64 { return float64(c.ComputeObservations()) })
+	reg.GaugeFunc("collab_calib_compute_mean_abs_rel_error",
+		"Mean |predicted-actual|/actual of compute costs across op families.",
+		func() float64 { return c.ComputeMeanAbsRelErr() })
+	reg.GaugeFunc("collab_calib_compute_drift",
+		"Largest compute-cost drift signal across op families.",
+		func() float64 { return c.ComputeMaxDrift() })
+	reg.GaugeFunc("collab_calib_runs",
+		"Workload runs with a recorded optimizer scorecard.",
+		func() float64 { return float64(c.Runs()) })
+	reg.GaugeFunc("collab_calib_estimated_saved_seconds_total",
+		"Cumulative estimated seconds saved by reuse (sum Cr of reused vertices minus actual fetch time).",
+		func() float64 { return c.EstimatedSavedSeconds() })
+	reg.GaugeFunc("collab_calib_actual_fetch_seconds_total",
+		"Cumulative measured artifact fetch seconds across runs.",
+		func() float64 { return c.FetchActualSeconds() })
+	reg.GaugeFunc("collab_calib_last_speedup",
+		"Realized speedup of the most recent run versus its naive all-compute plan.",
+		func() float64 { return c.LastSpeedup() })
+}

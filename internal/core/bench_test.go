@@ -73,6 +73,47 @@ func BenchmarkExecuteTraceOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkExecuteCalibOverhead compares Execute on a reuse-heavy plan
+// with calibration measurement absent (no option), disabled
+// (WithCalibration(false)), and enabled. The server is pre-seeded so each
+// iteration exercises the EG fetch path that calibration instruments.
+// Absent and disabled must match within noise: the disabled path takes no
+// fetch timestamps and allocates nothing for calibration (allocations are
+// reported; compare disabled against absent).
+func BenchmarkExecuteCalibOverhead(b *testing.B) {
+	prof := synth.WideProfile{Branches: 8, Depth: 3, SpinIters: 50_000}
+	run := func(b *testing.B, mkOpts func() []ExecOption) {
+		b.Helper()
+		srv := NewServer(store.New(cost.Memory()))
+		if _, err := NewClient(srv).Run(synth.Wide(prof, 1)); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := synth.Wide(prof, 1)
+			w.MarkComputed()
+			opt := srv.Optimize(w)
+			if _, err := Execute(w, opt.Plan, srv, mkOpts()...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("absent", func(b *testing.B) {
+		run(b, func() []ExecOption { return []ExecOption{WithParallelism(4)} })
+	})
+	b.Run("disabled", func(b *testing.B) {
+		run(b, func() []ExecOption {
+			return []ExecOption{WithParallelism(4), WithCalibration(false)}
+		})
+	})
+	b.Run("enabled", func(b *testing.B) {
+		run(b, func() []ExecOption {
+			return []ExecOption{WithParallelism(4), WithCalibration(true)}
+		})
+	})
+}
+
 // BenchmarkOptimizeExplainOverhead compares Server.Optimize with explain
 // capture absent (no option), disabled (nil recorder — the WithExplain fast
 // path), and enabled. Absent and disabled must match within noise: the

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/calib"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/reuse"
+	"repro/internal/store"
+	"repro/internal/workloads/synth"
+)
+
+// TestCalibrationEndToEnd runs the same workload repeatedly against a
+// deliberately mis-scaled cost.Profile — 2ms latency for in-memory
+// fetches that really take microseconds — and asserts the calibration
+// report flags the drift and FitProfile recovers a profile within 20% of
+// the measured truth.
+func TestCalibrationEndToEnd(t *testing.T) {
+	skewed := cost.Profile{Name: "memory", Latency: 2 * time.Millisecond, BytesPerSecond: 8 << 30}
+	srv := NewServer(store.New(skewed))
+	client := NewClient(srv, WithParallelism(1))
+	// Cl(terminal) = ~2ms must undercut recomputing the 4ms-per-op chain
+	// so later runs reuse from EG.
+	wp := synth.WideProfile{Branches: 4, Depth: 2, Sleep: 4 * time.Millisecond}
+
+	const runs = 11
+	var lastReused int
+	for i := 0; i < runs; i++ {
+		res, err := client.Run(synth.Wide(wp, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastReused = res.Reused
+		if i > 0 && res.Reused == 0 {
+			t.Fatalf("run %d: expected reuse from EG, got none", i)
+		}
+		if i > 0 && res.FetchTime <= 0 {
+			t.Fatalf("run %d: reused %d vertices but measured no fetch time", i, res.Reused)
+		}
+	}
+	if lastReused == 0 {
+		t.Fatal("no reuse in final run")
+	}
+
+	c := srv.Calibration()
+	if got := c.LoadObservations("memory"); got < calib.MinFitSamples {
+		t.Fatalf("load observations = %d, want >= %d", got, calib.MinFitSamples)
+	}
+	if c.Runs() < runs-1 {
+		t.Errorf("scorecard runs = %d, want >= %d", c.Runs(), runs-1)
+	}
+
+	report := c.Snapshot()
+	// The 2ms-latency profile overpredicts microsecond in-memory fetches
+	// by orders of magnitude: drift must be flagged.
+	flagged := false
+	for _, name := range report.DriftFlagged {
+		if name == "load:memory" {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatalf("drift not flagged for load:memory; report drift families = %v", report.DriftFlagged)
+	}
+	var fam *calib.FamilyReport
+	for i := range report.Families {
+		if report.Families[i].Name == "load:memory" {
+			fam = &report.Families[i]
+		}
+	}
+	if fam == nil {
+		t.Fatal("no load:memory family in report")
+	}
+	if fam.Drift <= calib.DriftThreshold {
+		t.Errorf("drift = %v, want > %v", fam.Drift, calib.DriftThreshold)
+	}
+	if fam.PredictedMeanSec < 50*fam.ActualMeanSec {
+		t.Errorf("mis-scaled profile should overpredict heavily: predicted %v vs actual %v",
+			fam.PredictedMeanSec, fam.ActualMeanSec)
+	}
+
+	// FitProfile must recover the measured truth within 20%: predicting
+	// the mean observed artifact size must land within 20% of the mean
+	// measured fetch duration.
+	fit, ok := c.FitFor("memory")
+	if !ok {
+		t.Fatal("FitFor rejected despite enough samples")
+	}
+	got := fit.LoadCost(int64(fam.BytesMean)).Seconds()
+	if rel := math.Abs(got-fam.ActualMeanSec) / fam.ActualMeanSec; rel > 0.20 {
+		t.Fatalf("fitted profile predicts %.9fs at mean size, measured mean %.9fs (rel err %.3f)",
+			got, fam.ActualMeanSec, rel)
+	}
+
+	// The realized speedup of reuse runs must be positive — fetching at
+	// microseconds beats recomputing a ~36ms chain.
+	if sp := c.LastSpeedup(); sp <= 1 {
+		t.Errorf("LastSpeedup = %v, want > 1", sp)
+	}
+	total, last := c.WallSeconds()
+	if total <= 0 || last <= 0 {
+		t.Errorf("WallSeconds = (%v, %v), want both > 0", total, last)
+	}
+
+	// The metrics endpoint renders the new families with live values.
+	var sb strings.Builder
+	if err := srv.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, fragment := range []string{
+		"collab_calib_load_memory_observations",
+		"collab_calib_runs",
+		"collab_calib_last_speedup",
+		"go_goroutines",
+	} {
+		if !strings.Contains(out, fragment) {
+			t.Errorf("/metrics missing %q", fragment)
+		}
+	}
+	if strings.Contains(out, "collab_calib_runs 0\n") {
+		t.Error("collab_calib_runs still zero after measured runs")
+	}
+}
+
+// TestCalibrationObservesCompute re-executes a workload the EG already
+// knows (ALL_C planner forces recompute) and checks compute predictions
+// are compared against fresh measurements.
+func TestCalibrationObservesCompute(t *testing.T) {
+	srv := NewServer(store.New(cost.Memory()), WithPlanner(reuse.AllCompute{}))
+	client := NewClient(srv, WithParallelism(1))
+	wp := synth.WideProfile{Branches: 2, Depth: 2, Sleep: time.Millisecond}
+	for i := 0; i < 2; i++ {
+		if _, err := client.Run(synth.Wide(wp, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := srv.Calibration()
+	if got := c.ComputeObservations(); got == 0 {
+		t.Fatal("second run should compare compute times against EG predictions")
+	}
+	// Sleep-dominated ops are stable across runs: predictions should be
+	// reasonably calibrated, certainly not orders of magnitude off.
+	if err := c.ComputeMeanAbsRelErr(); err > 5 {
+		t.Errorf("ComputeMeanAbsRelErr = %v, implausibly large for identical reruns", err)
+	}
+}
+
+// TestCalibrationDisabledTakesNoMeasurements pins the opt-out: with
+// WithCalibration(false) the executor annotates nothing and the server
+// records no scorecard.
+func TestCalibrationDisabledTakesNoMeasurements(t *testing.T) {
+	srv := NewServer(store.New(cost.Memory()))
+	client := NewClient(srv, WithParallelism(1), WithCalibration(false))
+	wp := synth.WideProfile{Branches: 2, Depth: 1}
+	for i := 0; i < 3; i++ {
+		res, err := client.Run(synth.Wide(wp, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FetchTime != 0 {
+			t.Fatalf("FetchTime = %v with calibration disabled", res.FetchTime)
+		}
+	}
+	c := srv.Calibration()
+	if c.LoadObservations("memory") != 0 || c.Runs() != 0 {
+		t.Fatalf("disabled calibration still observed: loads=%d runs=%d",
+			c.LoadObservations("memory"), c.Runs())
+	}
+}
+
+// TestObserveExecutionPreMergePredictions pins the ordering contract: the
+// compute prediction compared must be the EG's value from BEFORE the
+// merge, not the fresh measurement (which would always match itself).
+func TestObserveExecutionPreMergePredictions(t *testing.T) {
+	srv := NewServer(store.New(cost.Memory()))
+
+	run1 := synth.Wide(synth.WideProfile{Branches: 1, Depth: 1}, 7)
+	run1.MarkComputed()
+	opt := srv.Optimize(run1)
+	if _, err := Execute(run1, opt.Plan, srv, WithCalibration(true)); err != nil {
+		t.Fatal(err)
+	}
+	// Inflate the EG's recorded compute time so run 2's prediction is
+	// visibly stale.
+	var target *graph.Node
+	for _, n := range run1.Nodes() {
+		if !n.IsSource() && n.ComputeTime > 0 {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no executed vertex in run 1")
+	}
+	srv.UpdateReq(run1, "run-1")
+	srv.EG.Vertex(target.ID).ComputeTime = time.Minute
+
+	run2 := synth.Wide(synth.WideProfile{Branches: 1, Depth: 1}, 7)
+	run2.MarkComputed()
+	opt2 := srv.OptimizeReq(run2, "run-2")
+	// Force recompute so the compute path is observed.
+	opt2.Plan = &reuse.Plan{Reuse: map[string]bool{}}
+	if _, err := Execute(run2, opt2.Plan, srv, WithCalibration(true)); err != nil {
+		t.Fatal(err)
+	}
+	srv.UpdateReq(run2, "run-2")
+
+	c := srv.Calibration()
+	if got := c.ComputeObservations(); got == 0 {
+		t.Fatal("no compute observations")
+	}
+	// Prediction (1 minute) vs measured (~µs): relative error must be
+	// enormous, proving the pre-merge value was used.
+	if got := c.ComputeMeanAbsRelErr(); got < 100 {
+		t.Errorf("ComputeMeanAbsRelErr = %v; inflated pre-merge prediction not used", got)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -45,6 +46,14 @@ type Optimizer interface {
 type RequestOptimizer interface {
 	OptimizeReq(w *graph.DAG, requestID string) *Optimization
 	UpdateReq(executed *graph.DAG, requestID string)
+}
+
+// RunReporter is implemented by optimizers that accept the client's
+// post-execution run summary (wall-clock time, measured fetch totals) for
+// the calibration scorecard. The in-process *Server records it directly;
+// the remote client piggybacks it on the update request.
+type RunReporter interface {
+	ReportRun(run calib.ClientRun, requestID string)
 }
 
 // Client drives one workload through the full pipeline: local pruning,
@@ -117,14 +126,32 @@ func (c *Client) Run(w *graph.DAG) (*RunResult, error) {
 		}
 	}
 
-	// Step 4: execution, tagged with the run's request ID.
-	execOpts := c.execOpts
+	// Step 4: execution, tagged with the run's request ID. Calibration
+	// measurement defaults on for client-driven runs — the caller's own
+	// options come later, so an explicit WithCalibration(false) wins.
+	execOpts := append([]ExecOption{WithCalibration(true)}, c.execOpts...)
 	if tr != nil {
-		execOpts = append(append([]ExecOption(nil), c.execOpts...), WithRequestID(rid))
+		execOpts = append(execOpts, WithRequestID(rid))
 	}
 	res, err := Execute(w, opt.Plan, c.srv, execOpts...)
 	if err != nil {
 		return nil, err
+	}
+
+	// Report the run summary ahead of the update so the server can fold
+	// wall-clock time into the request's scorecard. Skipped when the
+	// caller opted out of calibration measurement.
+	if rr, ok := c.srv.(RunReporter); ok && measureOf(execOpts) {
+		rr.ReportRun(calib.ClientRun{
+			WallTime:    res.WallTime,
+			RunTime:     res.RunTime,
+			ComputeTime: res.ComputeTime,
+			LoadTime:    res.LoadTime,
+			FetchTime:   res.FetchTime,
+			Executed:    res.Executed,
+			Reused:      res.Reused,
+			Warmstarted: res.Warmstarted,
+		}, rid)
 	}
 
 	// Step 5: updater.

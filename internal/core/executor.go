@@ -25,6 +25,10 @@ type ExecResult struct {
 	ComputeTime time.Duration
 	// LoadTime is the modeled Cl total of artifacts loaded from EG.
 	LoadTime time.Duration
+	// FetchTime is the measured wall-clock total of EG artifact fetches,
+	// summed over reused vertices. Zero unless the execution ran with
+	// calibration measurement (WithCalibration) enabled.
+	FetchTime time.Duration
 	// WallTime is the measured end-to-end duration of Execute. Under
 	// parallel execution WallTime < ComputeTime when independent
 	// branches overlap; under sequential execution it is approximately
@@ -52,6 +56,7 @@ type execConfig struct {
 	workers   int
 	trace     *obs.Trace
 	requestID string
+	measure   bool
 }
 
 // WithParallelism bounds the number of vertices executed concurrently.
@@ -77,6 +82,18 @@ func WithRequestID(id string) ExecOption {
 	return func(c *execConfig) { c.requestID = id }
 }
 
+// WithCalibration toggles calibration measurement: when on, every EG
+// fetch is timed and the vertex is annotated with the measured duration,
+// the serving tier, and the planner's predicted Cl, which the server's
+// calibration collector compares on update. When off (the default for
+// plain Execute calls), the fetch path takes no extra timestamps and
+// allocates nothing — pinned by BenchmarkExecuteCalibOverhead.
+// core.Client.Run enables it by default; pass WithCalibration(false) to a
+// client to opt out.
+func WithCalibration(on bool) ExecOption {
+	return func(c *execConfig) { c.measure = on }
+}
+
 // traceOf extracts the recorder an option list carries, for callers (the
 // client) that want to annotate the same timeline.
 func traceOf(opts []ExecOption) *obs.Trace {
@@ -85,6 +102,16 @@ func traceOf(opts []ExecOption) *obs.Trace {
 		o(&cfg)
 	}
 	return cfg.trace
+}
+
+// measureOf resolves the calibration flag an option list would produce,
+// so the client can match its run reporting to the executor's behavior.
+func measureOf(opts []ExecOption) bool {
+	cfg := execConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.measure
 }
 
 // vexec is the per-vertex scheduling state of one Execute call. Each vertex
@@ -105,12 +132,18 @@ type vexec struct {
 	// schedule sources: they never wait on parents.
 	stop bool
 
+	// measure mirrors execConfig.measure for the owning worker; predLoad
+	// is the planner's Cl prediction for stop vertices (calibration).
+	measure  bool
+	predLoad time.Duration
+
 	// Completion record, written by the owning worker, read after join.
-	reused   bool
-	executed bool
-	loadCost time.Duration
-	elapsed  time.Duration
-	err      error
+	reused    bool
+	executed  bool
+	loadCost  time.Duration
+	fetchTime time.Duration
+	elapsed   time.Duration
+	err       error
 }
 
 // vexecHeap is a min-heap of ready vertices ordered by topo index, so
@@ -155,7 +188,7 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOpt
 		workers = parallel.Workers()
 	}
 	tr := cfg.trace
-	start := time.Now()
+	sw := obs.StartTimer()
 	if plan == nil {
 		plan = &reuse.Plan{Reuse: map[string]bool{}}
 	}
@@ -183,8 +216,13 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOpt
 		if !active[n.ID] {
 			continue
 		}
-		s := &vexec{node: n, topo: i}
+		s := &vexec{node: n, topo: i, measure: cfg.measure}
 		s.stop = plan.Reuse[n.ID] || (n.Computed && n.Content != nil)
+		if cfg.measure && plan.Reuse[n.ID] {
+			if sec, ok := plan.PredictedLoad[n.ID]; ok {
+				s.predLoad = time.Duration(sec * float64(time.Second))
+			}
+		}
 		states[n.ID] = s
 		topoStates = append(topoStates, s)
 	}
@@ -296,6 +334,7 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOpt
 		case s.reused:
 			res.Reused++
 			res.LoadTime += s.loadCost
+			res.FetchTime += s.fetchTime
 		case s.executed:
 			res.Executed++
 			res.ComputeTime += s.elapsed
@@ -305,7 +344,7 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOpt
 		}
 	}
 	res.RunTime = res.ComputeTime + res.LoadTime
-	res.WallTime = time.Since(start)
+	res.WallTime = sw.Elapsed()
 	if tr != nil {
 		args := map[string]any{
 			"executed": res.Executed, "reused": res.Reused,
@@ -315,7 +354,7 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOpt
 		if cfg.requestID != "" {
 			args[obs.RequestIDKey] = cfg.requestID
 		}
-		tr.Span("execute", "execute", 0, start, res.WallTime, args)
+		tr.Span("execute", "execute", 0, sw.StartedAt(), res.WallTime, args)
 	}
 	return res, nil
 }
@@ -332,9 +371,10 @@ func runVertex(s *vexec, src ArtifactSource, tr *obs.Trace, wid int) error {
 		// already on the client (source or prior cell)
 	case s.stop:
 		// plan-reuse vertex: fetch from the store
-		var fetchStart time.Time
-		if tr != nil {
-			fetchStart = time.Now()
+		var fetchSW obs.Stopwatch
+		timed := tr != nil || s.measure
+		if timed {
+			fetchSW = obs.StartTimer()
 		}
 		var content graph.Artifact
 		var tierLabel string
@@ -361,6 +401,25 @@ func runVertex(s *vexec, src ArtifactSource, tr *obs.Trace, wid int) error {
 			s.loadCost = src.LoadCostOf(n.SizeBytes)
 		}
 		s.reused = true
+		var fetchElapsed time.Duration
+		if timed {
+			fetchElapsed = fetchSW.Elapsed()
+		}
+		if s.measure {
+			// Annotate the node with measured-vs-predicted so the server's
+			// calibration collector can compare them on update. The
+			// planner's own Cl (predLoad) is preferred; the tier-priced
+			// loadCost stands in when the plan carried no prediction
+			// (older remote servers).
+			s.fetchTime = fetchElapsed
+			n.FetchTime = fetchElapsed
+			n.FetchTier = tierLabel
+			if s.predLoad > 0 {
+				n.PredictedLoad = s.predLoad
+			} else {
+				n.PredictedLoad = s.loadCost
+			}
+		}
 		if tr != nil {
 			args := map[string]any{
 				"vertex": n.ID, "reuse": true, "bytes": n.SizeBytes,
@@ -369,7 +428,7 @@ func runVertex(s *vexec, src ArtifactSource, tr *obs.Trace, wid int) error {
 			if tierLabel != "" {
 				args["tier"] = tierLabel
 			}
-			tr.Span(n.Name, "fetch", wid, fetchStart, time.Since(fetchStart), args)
+			tr.Span(n.Name, "fetch", wid, fetchSW.StartedAt(), fetchElapsed, args)
 		}
 	case n.Kind == graph.SupernodeKind:
 		// Supernodes carry no data and no computation.
@@ -381,12 +440,12 @@ func runVertex(s *vexec, src ArtifactSource, tr *obs.Trace, wid int) error {
 		if err != nil {
 			return err
 		}
-		start := time.Now()
+		opSW := obs.StartTimer()
 		content, err := n.Op.Run(inputs)
-		elapsed := time.Since(start)
+		elapsed := opSW.Elapsed()
 		if err != nil {
 			if tr != nil {
-				tr.Span(n.Name, "compute", wid, start, elapsed, map[string]any{
+				tr.Span(n.Name, "compute", wid, opSW.StartedAt(), elapsed, map[string]any{
 					"vertex": n.ID, "error": err.Error(),
 				})
 			}
@@ -404,7 +463,7 @@ func runVertex(s *vexec, src ArtifactSource, tr *obs.Trace, wid int) error {
 		s.elapsed = elapsed
 		s.executed = true
 		if tr != nil {
-			tr.Span(n.Name, "compute", wid, start, elapsed, map[string]any{
+			tr.Span(n.Name, "compute", wid, opSW.StartedAt(), elapsed, map[string]any{
 				"vertex": n.ID, "reuse": false, "bytes": n.SizeBytes,
 				"warmstart": n.Warmstarted,
 			})

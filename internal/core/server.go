@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/eg"
 	"repro/internal/explain"
 	"repro/internal/graph"
@@ -52,7 +53,21 @@ type Server struct {
 	// the structured logger; nil disables server logging.
 	explain *explain.Recorder
 	log     *slog.Logger
+
+	// calib is the always-on calibration collector: updates feed it the
+	// measured fetch/compute durations next to the predictions the planner
+	// used. Cheap when clients don't measure — without annotations there
+	// is nothing to observe.
+	calib *calib.Collector
+	// pendingRuns holds client-reported run summaries keyed by request ID
+	// until the matching update arrives and folds them into the scorecard.
+	// Bounded: an update never arriving must not leak memory.
+	pendingRuns map[string]calib.ClientRun
 }
+
+// maxPendingRuns bounds the run-summary buffer; beyond it the oldest
+// entries are dropped wholesale (an abandoned run's summary is worthless).
+const maxPendingRuns = 128
 
 // serverMetrics bundles the server's instruments; see DESIGN.md
 // "Observability" for the metric inventory.
@@ -161,9 +176,11 @@ func WithLogger(l *slog.Logger) ServerOption {
 // NewServer builds a server around the given store.
 func NewServer(st *store.Manager, opts ...ServerOption) *Server {
 	srv := &Server{
-		EG:     eg.New(),
-		Store:  st,
-		budget: 1 << 30,
+		EG:          eg.New(),
+		Store:       st,
+		budget:      1 << 30,
+		calib:       calib.NewCollector(),
+		pendingRuns: make(map[string]calib.ClientRun),
 	}
 	cfg := materialize.Config{Alpha: 0.5, Profile: st.Profile()}
 	srv.strategy = materialize.NewStorageAware(cfg)
@@ -220,6 +237,10 @@ func (s *Server) initMetrics() {
 				"candidates rejected by the load-cost veto (Cl >= Cr)"),
 		})
 	}
+	// Calibration families (predicted-vs-actual cost quality) and Go
+	// runtime health, both scrape-backed.
+	calib.RegisterMetrics(reg, s.calib)
+	obs.NewRuntimeCollector().Register(reg)
 	// Trace-recorder health: without these gauges, drops are only visible
 	// inside the exported trace JSON.
 	if s.trace != nil {
@@ -243,6 +264,24 @@ func (s *Server) Trace() *obs.Trace { return s.trace }
 // Explain returns the decision-introspection recorder, or nil when
 // explain capture is disabled.
 func (s *Server) Explain() *explain.Recorder { return s.explain }
+
+// Calibration returns the server's calibration collector (always
+// non-nil), backing /v1/calibration and the collab_calib_* metrics.
+func (s *Server) Calibration() *calib.Collector { return s.calib }
+
+// ReportRun implements RunReporter: it buffers the client's run summary
+// until the matching UpdateReq folds it into that request's scorecard.
+func (s *Server) ReportRun(run calib.ClientRun, requestID string) {
+	if requestID == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pendingRuns) >= maxPendingRuns {
+		clear(s.pendingRuns)
+	}
+	s.pendingRuns[requestID] = run
+}
 
 // Timings returns the accumulated reuse-planning and materialization
 // overheads under the server lock (safe concurrent read of PlanTime and
@@ -330,10 +369,10 @@ func (s *Server) Optimize(w *graph.DAG) *Optimization { return s.OptimizeReq(w, 
 func (s *Server) OptimizeReq(w *graph.DAG, requestID string) *Optimization {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	start := time.Now()
+	sw := obs.StartTimer()
 	costs := reuse.GatherCosts(w, s.EG, s.Store)
 	plan := s.planner.Plan(w, costs)
-	overhead := time.Since(start)
+	overhead := sw.Elapsed()
 	s.PlanTime += overhead
 	var ws []reuse.WarmstartCandidate
 	if s.warmstart {
@@ -359,7 +398,7 @@ func (s *Server) OptimizeReq(w *graph.DAG, requestID string) *Optimization {
 		if requestID != "" {
 			args[obs.RequestIDKey] = requestID
 		}
-		s.trace.Span("optimize", "server", 0, start, overhead, args)
+		s.trace.Span("optimize", "server", 0, sw.StartedAt(), overhead, args)
 	}
 	if s.log != nil {
 		s.log.Info("optimize",
@@ -386,7 +425,11 @@ func (s *Server) Update(executed *graph.DAG) { s.UpdateReq(executed, "") }
 func (s *Server) UpdateReq(executed *graph.DAG, requestID string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	start := time.Now()
+	sw := obs.StartTimer()
+
+	// Calibration reads EG predictions, so it must run before Merge
+	// refreshes them with this run's measurements.
+	sc := s.observeExecutionLocked(executed, requestID)
 
 	s.EG.Merge(executed)
 
@@ -398,7 +441,7 @@ func (s *Server) UpdateReq(executed *graph.DAG, requestID string) {
 			available[n.ID] = n.Content
 		}
 	}
-	s.applySelectionLocked(available, touched, requestID)
+	s.applySelectionLocked(available, touched, requestID, sc)
 	s.EG.Prune(s.prune)
 	s.metrics.updateTotal.Inc()
 	if s.trace != nil {
@@ -406,13 +449,20 @@ func (s *Server) UpdateReq(executed *graph.DAG, requestID string) {
 		if requestID != "" {
 			args[obs.RequestIDKey] = requestID
 		}
-		s.trace.Span("update", "server", 0, start, time.Since(start), args)
+		s.trace.Span("update", "server", 0, sw.StartedAt(), sw.Elapsed(), args)
 	}
 	if s.log != nil {
-		s.log.Info("update",
+		attrs := []any{
 			slog.String(obs.RequestIDKey, requestID),
 			slog.Int("vertices", executed.Len()),
-			slog.Duration("elapsed", time.Since(start)))
+			slog.Duration("elapsed", sw.Elapsed()),
+		}
+		if sc != nil {
+			attrs = append(attrs,
+				slog.Float64("speedup", sc.Speedup),
+				slog.Float64("est_saved_sec", sc.EstimatedSavedSec))
+		}
+		s.log.Info("update", attrs...)
 	}
 }
 
@@ -430,14 +480,18 @@ func (s *Server) UpdateMeta(executed *graph.DAG) (want []string) {
 func (s *Server) UpdateMetaReq(executed *graph.DAG, requestID string) (want []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	start := time.Now()
+	sw := obs.StartTimer()
+
+	// Calibration reads EG predictions, so it must run before Merge
+	// refreshes them with this run's measurements.
+	sc := s.observeExecutionLocked(executed, requestID)
 
 	s.EG.Merge(executed)
 	touched := make([]string, 0, executed.Len())
 	for _, n := range executed.Nodes() {
 		touched = append(touched, n.ID)
 	}
-	want = s.applySelectionLocked(nil, touched, requestID)
+	want = s.applySelectionLocked(nil, touched, requestID, sc)
 	s.EG.Prune(s.prune)
 	s.metrics.updateTotal.Inc()
 	if s.trace != nil {
@@ -445,16 +499,80 @@ func (s *Server) UpdateMetaReq(executed *graph.DAG, requestID string) (want []st
 		if requestID != "" {
 			args[obs.RequestIDKey] = requestID
 		}
-		s.trace.Span("update-meta", "server", 0, start, time.Since(start), args)
+		s.trace.Span("update-meta", "server", 0, sw.StartedAt(), sw.Elapsed(), args)
 	}
 	if s.log != nil {
 		s.log.Info("update-meta",
 			slog.String(obs.RequestIDKey, requestID),
 			slog.Int("vertices", executed.Len()),
 			slog.Int("want", len(want)),
-			slog.Duration("elapsed", time.Since(start)))
+			slog.Duration("elapsed", sw.Elapsed()))
 	}
 	return want
+}
+
+// observeExecutionLocked feeds the calibration collector from an executed
+// DAG and builds the request's optimizer scorecard. It must run BEFORE
+// s.EG.Merge: the EG's current ComputeTime and recreation costs are the
+// predictions the planner used; after Merge they are this run's
+// measurements and the comparison would be vacuous.
+//
+// Returns nil when the run carried no measurements at all (clients
+// running WithCalibration(false), or pre-measurement clients) so callers
+// can skip scorecard plumbing.
+func (s *Server) observeExecutionLocked(executed *graph.DAG, requestID string) *calib.Scorecard {
+	var (
+		reused, execCount int
+		fetchTotal        time.Duration
+		computeTotal      time.Duration
+		recreation        time.Duration
+		measured          bool
+		cr                map[string]time.Duration
+	)
+	for _, n := range executed.Nodes() {
+		if n.LoadedFromEG {
+			reused++
+			if n.FetchTime > 0 && n.FetchTier != "" {
+				s.calib.ObserveLoad(n.FetchTier, n.SizeBytes, n.PredictedLoad, n.FetchTime)
+				fetchTotal += n.FetchTime
+				measured = true
+			}
+			if cr == nil {
+				cr = s.EG.RecreationCosts()
+			}
+			recreation += cr[n.ID]
+			continue
+		}
+		if n.IsSource() || n.Computed || n.Kind == graph.SupernodeKind || n.ComputeTime <= 0 {
+			continue
+		}
+		execCount++
+		computeTotal += n.ComputeTime
+		// The EG's pre-merge compute time is the prediction the planner
+		// priced Ci(v) with; absent for first-seen vertices.
+		if v := s.EG.Vertex(n.ID); v != nil && v.ComputeTime > 0 {
+			op := ""
+			if n.Op != nil {
+				op = n.Op.Name()
+			}
+			s.calib.ObserveCompute(op, v.ComputeTime, n.ComputeTime)
+		}
+	}
+	run, hasRun := calib.ClientRun{}, false
+	if requestID != "" {
+		if run, hasRun = s.pendingRuns[requestID]; hasRun {
+			delete(s.pendingRuns, requestID)
+		}
+	}
+	if !measured && !hasRun {
+		return nil
+	}
+	sc := calib.NewScorecard(requestID, reused, execCount, recreation, fetchTotal, computeTotal)
+	if hasRun {
+		sc.WallSec = run.WallTime.Seconds()
+	}
+	s.calib.RecordScorecard(sc)
+	return &sc
 }
 
 // PutArtifact stores uploaded content for a vertex and marks it
@@ -473,7 +591,7 @@ func (s *Server) PutArtifact(id string, a graph.Artifact) error {
 // applies it to the store using the contents in available, and returns the
 // desired-but-missing vertex IDs. Strategies supporting the §5.2
 // incremental fast path receive the touched vertex IDs.
-func (s *Server) applySelectionLocked(available map[string]graph.Artifact, touched []string, requestID string) (want []string) {
+func (s *Server) applySelectionLocked(available map[string]graph.Artifact, touched []string, requestID string, sc *calib.Scorecard) (want []string) {
 	// Task one: every raw source artifact is stored, outside the budget.
 	sources := make(map[string]bool)
 	for _, id := range s.EG.Sources() {
@@ -492,28 +610,30 @@ func (s *Server) applySelectionLocked(available map[string]graph.Artifact, touch
 	}
 
 	// Task three: run the materialization algorithm and apply it.
-	start := time.Now()
+	matSW := obs.StartTimer()
 	var desired []string
 	if inc, ok := s.strategy.(materialize.IncrementalStrategy); ok && touched != nil {
 		desired = inc.SelectIncremental(s.EG, s.budget, touched)
 	} else {
 		desired = s.strategy.Select(s.EG, s.budget)
 	}
-	matElapsed := time.Since(start)
+	matElapsed := matSW.Elapsed()
 	s.MatTime += matElapsed
 	s.metrics.matRuns.Inc()
 	s.metrics.matSec.Observe(matElapsed.Seconds())
 	s.metrics.matSelected.Set(float64(len(desired)))
 	if s.explain != nil {
-		s.explain.Add(explain.BuildUpdate(s.EG, s.Store.Profile(), s.strategy.Name(),
-			s.budget, desired, requestID))
+		rec := explain.BuildUpdate(s.EG, s.Store.Profile(), s.strategy.Name(),
+			s.budget, desired, requestID)
+		rec.Calibration = sc
+		s.explain.Add(rec)
 	}
 	if s.trace != nil {
 		args := map[string]any{"selected": len(desired)}
 		if requestID != "" {
 			args[obs.RequestIDKey] = requestID
 		}
-		s.trace.Span("materialize", "server", 0, start, matElapsed, args)
+		s.trace.Span("materialize", "server", 0, matSW.StartedAt(), matElapsed, args)
 	}
 
 	desiredSet := make(map[string]bool, len(desired))

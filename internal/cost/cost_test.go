@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -36,5 +37,66 @@ func TestProfileOrdering(t *testing.T) {
 	remote := Remote().LoadCost(size)
 	if !(mem < disk && disk < remote) {
 		t.Errorf("profile ordering violated: mem=%v disk=%v remote=%v", mem, disk, remote)
+	}
+}
+
+func TestLoadCostNegativeSizeClampsToZero(t *testing.T) {
+	p := Profile{Name: "t", Latency: 7 * time.Millisecond, BytesPerSecond: 1 << 20}
+	if got := p.LoadCost(-1); got != 7*time.Millisecond {
+		t.Errorf("negative size = %v, want latency only", got)
+	}
+	if got := p.LoadCost(math.MinInt64); got != 7*time.Millisecond {
+		t.Errorf("MinInt64 size = %v, want latency only", got)
+	}
+}
+
+func TestLoadCostOverflowSaturates(t *testing.T) {
+	// 1 byte/s over MaxInt64 bytes would be ~292 billion years: the cost
+	// must saturate at the max duration, never wrap negative.
+	p := Profile{Name: "t", Latency: time.Millisecond, BytesPerSecond: 1}
+	got := p.LoadCost(math.MaxInt64)
+	if got != time.Duration(math.MaxInt64) {
+		t.Errorf("huge artifact = %v, want max duration", got)
+	}
+	if got < 0 {
+		t.Errorf("overflow wrapped negative: %v", got)
+	}
+}
+
+func TestLoadCostMonotoneNearOverflow(t *testing.T) {
+	p := Profile{Name: "t", Latency: 0, BytesPerSecond: 1}
+	small := p.LoadCost(1 << 30)
+	huge := p.LoadCost(math.MaxInt64)
+	if huge < small {
+		t.Errorf("cost not monotone: LoadCost(MaxInt64)=%v < LoadCost(1GiB)=%v", huge, small)
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	want := Profile{Name: "fitted", Latency: 1500 * time.Microsecond, BytesPerSecond: 2.5e9}
+	data, err := EncodeProfileJSON(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseProfileJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestParseProfileJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":            `{`,
+		"bad latency":        `{"name":"x","latency":"fast","bytes_per_second":1}`,
+		"negative latency":   `{"name":"x","latency":"-1s","bytes_per_second":1}`,
+		"negative bandwidth": `{"name":"x","latency":"1ms","bytes_per_second":-5}`,
+	}
+	for name, in := range cases {
+		if _, err := ParseProfileJSON([]byte(in)); err == nil {
+			t.Errorf("%s: ParseProfileJSON accepted %q", name, in)
+		}
 	}
 }

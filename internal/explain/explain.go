@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/calib"
 	"repro/internal/cost"
 	"repro/internal/eg"
 	"repro/internal/graph"
@@ -178,6 +179,11 @@ type Record struct {
 	// Update-record fields.
 	Materialize []MatDecision `json:"materialize,omitempty"`
 	Mat         *MatSummary   `json:"mat,omitempty"`
+
+	// Calibration is the request's optimizer scorecard — estimated time
+	// saved by reuse, realized speedup versus the naive all-compute plan —
+	// attached to update records when the run carried measurements.
+	Calibration *calib.Scorecard `json:"calibration,omitempty"`
 }
 
 // BuildOptimize assembles the decision trail of one reuse-planning pass

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/cost"
 	"repro/internal/eg"
 	"repro/internal/graph"
@@ -302,4 +303,14 @@ func TestCostRendering(t *testing.T) {
 			t.Errorf("Cost(%v).MarshalJSON() = %s, want %s", float64(c.in), b, c.want)
 		}
 	}
+}
+
+func TestUpdateScorecardGoldens(t *testing.T) {
+	rec := updateRecord()
+	sc := calib.NewScorecard("req-fixture-02", 3, 2,
+		600*time.Millisecond, 40*time.Millisecond, 200*time.Millisecond)
+	sc.WallSec = 0.25
+	rec.Calibration = &sc
+	golden(t, "update-scorecard.json.golden", render(t, rec.WriteJSON))
+	golden(t, "update-scorecard.text.golden", render(t, rec.WriteText))
 }

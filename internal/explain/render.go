@@ -74,6 +74,14 @@ func (r *Record) writeUpdateText(b *strings.Builder) {
 			m.Decision, m.RecreationCost, m.LoadCost, formatFloat(m.Potential),
 			m.Frequency, m.SizeBytes, shortID(m.ID), m.Name)
 	}
+	if sc := r.Calibration; sc != nil {
+		fmt.Fprintf(b, "scorecard: reused %d, executed %d, est-saved %ss, speedup %sx",
+			sc.Reused, sc.Executed, formatFloat(sc.EstimatedSavedSec), formatFloat(sc.Speedup))
+		if sc.WallSec > 0 {
+			fmt.Fprintf(b, ", wall %ss", formatFloat(sc.WallSec))
+		}
+		b.WriteByte('\n')
+	}
 }
 
 // decisionFill maps reason codes to Graphviz fill colors; the palette

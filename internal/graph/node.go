@@ -78,6 +78,16 @@ type Node struct {
 	LoadedFromEG bool
 	// Warmstarted marks model vertices whose training was warmstarted.
 	Warmstarted bool
+
+	// FetchTime is the measured wall-clock duration of the EG fetch for
+	// LoadedFromEG vertices; FetchTier labels where the bytes came from
+	// ("memory", "disk", "remote:disk", ...). PredictedLoad is the Cl(v)
+	// the reuse planner priced the fetch at. All three are set only when
+	// the executor runs with calibration measurement enabled; the
+	// calibration layer compares them server-side.
+	FetchTime     time.Duration
+	FetchTier     string
+	PredictedLoad time.Duration
 }
 
 // SourceID returns the vertex ID of a raw source dataset by name.

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math"
+	rm "runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeCollector exposes Go runtime health as gauges on a Registry,
+// backed by the runtime/metrics package. Samples are taken lazily on
+// scrape and cached for a short TTL so one /metrics request triggers at
+// most one runtime read no matter how many gauges it renders.
+//
+// Exported families:
+//
+//	go_goroutines                  live goroutine count
+//	go_heap_objects_bytes          bytes of live heap objects
+//	go_gc_cycles_total             completed GC cycles
+//	go_gc_pause_seconds_total      estimated total stop-the-world pause time
+//	go_sched_latency_p50_seconds   p50 goroutine scheduling latency
+//	go_sched_latency_p95_seconds   p95 goroutine scheduling latency
+//
+// Pause totals and latency quantiles are derived from the runtime's
+// bucketed histograms (midpoint-weighted), so they are estimates — good
+// enough to alarm on, not nanosecond-exact.
+type RuntimeCollector struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	last    time.Time
+	samples []rm.Sample
+
+	goroutines float64
+	heapBytes  float64
+	gcCycles   float64
+	gcPauseSec float64
+	schedP50   float64
+	schedP95   float64
+}
+
+const runtimeSampleTTL = 250 * time.Millisecond
+
+// NewRuntimeCollector builds a collector with the default sample TTL.
+func NewRuntimeCollector() *RuntimeCollector {
+	return &RuntimeCollector{
+		ttl: runtimeSampleTTL,
+		samples: []rm.Sample{
+			{Name: "/sched/goroutines:goroutines"},
+			{Name: "/memory/classes/heap/objects:bytes"},
+			{Name: "/gc/cycles/total:gc-cycles"},
+			{Name: "/gc/pauses:seconds"},
+			{Name: "/sched/latencies:seconds"},
+		},
+	}
+}
+
+// Register installs the runtime gauges on reg. Safe to call for more than
+// one registry (server registry and CLI registry share one collector).
+func (rc *RuntimeCollector) Register(reg *Registry) {
+	reg.GaugeFunc("go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return rc.snapshot().goroutines })
+	reg.GaugeFunc("go_heap_objects_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 { return rc.snapshot().heapBytes })
+	reg.GaugeFunc("go_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		func() float64 { return rc.snapshot().gcCycles })
+	reg.GaugeFunc("go_gc_pause_seconds_total",
+		"Estimated total GC stop-the-world pause seconds since process start.",
+		func() float64 { return rc.snapshot().gcPauseSec })
+	reg.GaugeFunc("go_sched_latency_p50_seconds",
+		"Median goroutine scheduling latency since process start.",
+		func() float64 { return rc.snapshot().schedP50 })
+	reg.GaugeFunc("go_sched_latency_p95_seconds",
+		"95th percentile goroutine scheduling latency since process start.",
+		func() float64 { return rc.snapshot().schedP95 })
+}
+
+type runtimeSnapshot struct {
+	goroutines float64
+	heapBytes  float64
+	gcCycles   float64
+	gcPauseSec float64
+	schedP50   float64
+	schedP95   float64
+}
+
+// snapshot returns the cached readings, refreshing them when stale.
+func (rc *RuntimeCollector) snapshot() runtimeSnapshot {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	now := Timestamp()
+	if rc.last.IsZero() || now.Sub(rc.last) > rc.ttl {
+		rm.Read(rc.samples)
+		for i := range rc.samples {
+			s := &rc.samples[i]
+			switch s.Name {
+			case "/sched/goroutines:goroutines":
+				rc.goroutines = sampleValue(s)
+			case "/memory/classes/heap/objects:bytes":
+				rc.heapBytes = sampleValue(s)
+			case "/gc/cycles/total:gc-cycles":
+				rc.gcCycles = sampleValue(s)
+			case "/gc/pauses:seconds":
+				rc.gcPauseSec = histogramSum(s)
+			case "/sched/latencies:seconds":
+				rc.schedP50 = histogramQuantile(s, 0.50)
+				rc.schedP95 = histogramQuantile(s, 0.95)
+			}
+		}
+		rc.last = now
+	}
+	return runtimeSnapshot{
+		goroutines: rc.goroutines,
+		heapBytes:  rc.heapBytes,
+		gcCycles:   rc.gcCycles,
+		gcPauseSec: rc.gcPauseSec,
+		schedP50:   rc.schedP50,
+		schedP95:   rc.schedP95,
+	}
+}
+
+func sampleValue(s *rm.Sample) float64 {
+	switch s.Value.Kind() {
+	case rm.KindUint64:
+		return float64(s.Value.Uint64())
+	case rm.KindFloat64:
+		return s.Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// histogramSum estimates the weighted sum of a runtime histogram using
+// bucket midpoints (infinite bounds fall back to the finite edge).
+func histogramSum(s *rm.Sample) float64 {
+	if s.Value.Kind() != rm.KindFloat64Histogram {
+		return 0
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil {
+		return 0
+	}
+	var sum float64
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		sum += float64(count) * bucketMid(h.Buckets[i], h.Buckets[i+1])
+	}
+	return sum
+}
+
+// histogramQuantile estimates the q-quantile of a runtime histogram by
+// nearest-rank over bucket midpoints.
+func histogramQuantile(s *rm.Sample, q float64) float64 {
+	if s.Value.Kind() != rm.KindFloat64Histogram {
+		return 0
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			return bucketMid(h.Buckets[i], h.Buckets[i+1])
+		}
+	}
+	return bucketMid(h.Buckets[len(h.Buckets)-2], h.Buckets[len(h.Buckets)-1])
+}
+
+func bucketMid(lo, hi float64) float64 {
+	loInf := math.IsInf(lo, -1)
+	hiInf := math.IsInf(hi, 1)
+	switch {
+	case loInf && hiInf:
+		return 0
+	case loInf:
+		return hi
+	case hiInf:
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeCollectorGauges(t *testing.T) {
+	reg := NewRegistry()
+	rc := NewRuntimeCollector()
+	rc.Register(reg)
+
+	runtime.GC() // ensure at least one GC cycle has completed
+
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, fam := range []string{
+		"go_goroutines",
+		"go_heap_objects_bytes",
+		"go_gc_cycles_total",
+		"go_gc_pause_seconds_total",
+		"go_sched_latency_p50_seconds",
+		"go_sched_latency_p95_seconds",
+	} {
+		if !strings.Contains(out, fam+" ") {
+			t.Errorf("metrics output missing family %q:\n%s", fam, out)
+		}
+	}
+
+	snap := rc.snapshot()
+	if snap.goroutines < 1 {
+		t.Errorf("goroutines = %v, want >= 1", snap.goroutines)
+	}
+	if snap.heapBytes <= 0 {
+		t.Errorf("heapBytes = %v, want > 0", snap.heapBytes)
+	}
+	if snap.gcCycles < 1 {
+		t.Errorf("gcCycles = %v, want >= 1 after runtime.GC()", snap.gcCycles)
+	}
+}
+
+func TestRuntimeCollectorCaches(t *testing.T) {
+	rc := NewRuntimeCollector()
+	a := rc.snapshot()
+	b := rc.snapshot() // within TTL: must be the cached values
+	if a != b {
+		t.Fatalf("snapshot changed within TTL: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,35 @@
+package obs
+
+import "time"
+
+// This file is the sanctioned home for wall-clock access in server-path
+// packages: `make lint-logs` rejects raw time.Now() outside internal/obs so
+// every measurement flows through these helpers and stays greppable. They
+// are deliberately thin — the point is a single choke point, not cleverness.
+
+// Stopwatch marks the start of a measured region.
+type Stopwatch struct {
+	t0 time.Time
+}
+
+// StartTimer begins a measurement.
+func StartTimer() Stopwatch {
+	return Stopwatch{t0: time.Now()}
+}
+
+// StartedAt reports when the stopwatch was started (for span records that
+// need an absolute begin time alongside the duration).
+func (s Stopwatch) StartedAt() time.Time {
+	return s.t0
+}
+
+// Elapsed reports the time since StartTimer.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.t0)
+}
+
+// Timestamp returns the current wall-clock time for non-measurement uses
+// (idle-tracking clocks, cutoff computations).
+func Timestamp() time.Time {
+	return time.Now()
+}

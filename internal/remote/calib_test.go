@@ -1,0 +1,172 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/calib"
+	"repro/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// seedCalibration feeds the server's collector a fixed observation set so
+// /v1/calibration renders deterministic bytes.
+func seedCalibration(srv *core.Server) {
+	c := srv.Calibration()
+	for i := 1; i <= 10; i++ {
+		size := int64(i * 4096)
+		actual := time.Duration(i) * 50 * time.Microsecond
+		c.ObserveLoad("remote", size, 4*actual, actual)
+	}
+	c.ObserveCompute("train", 80*time.Millisecond, 100*time.Millisecond)
+	c.ObserveCompute("train", 90*time.Millisecond, 100*time.Millisecond)
+	sc := calib.NewScorecard("req-remote-01", 3, 1,
+		700*time.Millisecond, 25*time.Millisecond, 180*time.Millisecond)
+	sc.WallSec = 0.31
+	c.RecordScorecard(sc)
+}
+
+func TestCalibrationEndpointGolden(t *testing.T) {
+	srv, rc, closeFn := newRemotePair(t)
+	defer closeFn()
+	seedCalibration(srv)
+
+	resp, err := http.Get(rc.base + "/v1/calibration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "calibration.json.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("calibration JSON drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// A second fetch of the unchanged collector must render identical bytes.
+	resp2, err := http.Get(rc.base + "/v1/calibration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	again, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Error("repeated /v1/calibration responses differ for identical state")
+	}
+}
+
+func TestCalibrationEndpointFormats(t *testing.T) {
+	srv, rc, closeFn := newRemotePair(t)
+	defer closeFn()
+	seedCalibration(srv)
+
+	resp, err := http.Get(rc.base + "/v1/calibration?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("load:remote")) {
+		t.Fatalf("text format: status %d body %q", resp.StatusCode, body)
+	}
+	bad, err := http.Get(rc.base + "/v1/calibration?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: status %d", bad.StatusCode)
+	}
+}
+
+// TestRemoteCalibrationEndToEnd drives two runs over HTTP and asserts the
+// client's fetch measurements and run summary arrive at the server's
+// collector: load observations in the remote tier family, a recorded
+// scorecard, and the new stats fields populated.
+func TestRemoteCalibrationEndToEnd(t *testing.T) {
+	srv, rc, closeFn := newRemotePair(t)
+	defer closeFn()
+	client := core.NewClient(rc)
+	frame := testFrame(200, 3)
+
+	for i := 0; i < 2; i++ {
+		if _, err := client.Run(buildPipeline(frame)); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if err := rc.Err(); err != nil {
+			t.Fatalf("transport error on run %d: %v", i, err)
+		}
+	}
+
+	c := srv.Calibration()
+	if got := c.LoadObservations("remote"); got == 0 {
+		t.Error("no load observations for the remote tier after a reusing run")
+	}
+	if c.Runs() == 0 {
+		t.Error("no run scorecards despite piggybacked run summaries")
+	}
+	if _, last := c.WallSeconds(); last <= 0 {
+		t.Error("last run wall time not recorded")
+	}
+
+	st, err := rc.StatsE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs == 0 || st.LastRunWallTime <= 0 {
+		t.Errorf("stats missing scorecard fields: runs=%d lastWall=%v", st.Runs, st.LastRunWallTime)
+	}
+	if st.CalibLoadObs == 0 {
+		t.Errorf("stats CalibLoadObs = 0")
+	}
+	if st.LastRun == nil || st.LastRun.Reused == 0 {
+		t.Errorf("stats LastRun = %+v, want reused scorecard", st.LastRun)
+	}
+
+	report, err := rc.CalibrationE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range report.Families {
+		if f.Name == "load:remote" && f.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		b, _ := json.Marshal(report.Families)
+		t.Errorf("report lacks load:remote family: %s", b)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/graph"
@@ -37,6 +38,9 @@ type Client struct {
 	// carry the same X-Collab-Request header. One run at a time per client;
 	// concurrent runs should use separate clients.
 	rid string
+	// pendingRun is the client-side run summary reported by core.Client
+	// after execution, shipped piggybacked on the next update request.
+	pendingRun *calib.ClientRun
 }
 
 // NewClient builds a client for the server at baseURL (e.g.
@@ -105,7 +109,33 @@ func (c *Client) OptimizeE(w *graph.DAG) (*core.Optimization, error) {
 	for _, id := range resp.ReuseIDs {
 		plan.Reuse[id] = true
 	}
+	// Rebuild the planner's Cl predictions (aligned with the sorted reuse
+	// IDs) so the executor can annotate fetches for calibration.
+	if len(resp.PredictedLoadSec) == len(resp.ReuseIDs) && len(resp.ReuseIDs) > 0 {
+		plan.PredictedLoad = make(map[string]float64, len(resp.ReuseIDs))
+		for i, id := range resp.ReuseIDs {
+			plan.PredictedLoad[id] = resp.PredictedLoadSec[i]
+		}
+	}
 	return &core.Optimization{Plan: plan, Warmstarts: resp.Warmstarts, Overhead: resp.Overhead}, nil
+}
+
+// ReportRun implements core.RunReporter: the summary is buffered and
+// piggybacked on the next update request, which is where the server
+// builds the run's calibration scorecard.
+func (c *Client) ReportRun(run calib.ClientRun, _ string) {
+	c.mu.Lock()
+	c.pendingRun = &run
+	c.mu.Unlock()
+}
+
+// takePendingRun pops the buffered run summary, if any.
+func (c *Client) takePendingRun() *calib.ClientRun {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	run := c.pendingRun
+	c.pendingRun = nil
+	return run
 }
 
 // Update implements core.Optimizer: ship metadata, then upload whatever
@@ -129,7 +159,8 @@ func (c *Client) UpdateReq(executed *graph.DAG, requestID string) {
 // UpdateE is Update with error reporting.
 func (c *Client) UpdateE(executed *graph.DAG) error {
 	var resp UpdateResponse
-	if err := c.postGob("/v1/update", &UpdateRequest{Nodes: ToWire(executed)}, &resp); err != nil {
+	req := &UpdateRequest{Nodes: ToWire(executed), Run: c.takePendingRun()}
+	if err := c.postGob("/v1/update", req, &resp); err != nil {
 		return err
 	}
 	for _, id := range resp.WantContent {
@@ -213,6 +244,23 @@ func (c *Client) FetchTiered(id string) (graph.Artifact, string, time.Duration) 
 // LoadCostOf implements core.Optimizer (ArtifactSource).
 func (c *Client) LoadCostOf(sizeBytes int64) time.Duration {
 	return c.profile.LoadCost(sizeBytes)
+}
+
+// CalibrationE fetches the server's calibration report.
+func (c *Client) CalibrationE() (*calib.Report, error) {
+	resp, err := c.http.Get(c.base + "/v1/calibration")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("remote: /v1/calibration: HTTP %d", resp.StatusCode)
+	}
+	var report calib.Report
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		return nil, err
+	}
+	return &report, nil
 }
 
 // StatsE fetches server statistics.

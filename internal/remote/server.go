@@ -65,6 +65,7 @@ func NewHandler(srv *core.Server, opts ...HandlerOption) *Handler {
 	h.mux.HandleFunc("GET /v1/artifact", h.getArtifact)
 	h.mux.HandleFunc("POST /v1/artifact", h.putArtifact)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	h.mux.HandleFunc("GET /v1/calibration", h.calibration)
 	h.mux.Handle("GET /metrics", srv.Metrics().Handler())
 	h.mux.HandleFunc("GET /v1/trace", h.trace)
 	h.mux.HandleFunc("GET /v1/explain", h.explain)
@@ -108,14 +109,14 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	start := time.Now()
+	timer := obs.StartTimer()
 	h.mux.ServeHTTP(sw, r)
 	h.log.Info("http",
 		slog.String(obs.RequestIDKey, rid),
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
 		slog.Int("status", sw.status),
-		slog.Duration("elapsed", time.Since(start)))
+		slog.Duration("elapsed", timer.Elapsed()))
 }
 
 func (h *Handler) optimize(w http.ResponseWriter, r *http.Request) {
@@ -132,6 +133,12 @@ func (h *Handler) optimize(w http.ResponseWriter, r *http.Request) {
 	}
 	// Map iteration order is random; sort so responses are byte-stable.
 	sort.Strings(resp.ReuseIDs)
+	if len(opt.Plan.PredictedLoad) > 0 {
+		resp.PredictedLoadSec = make([]float64, len(resp.ReuseIDs))
+		for i, id := range resp.ReuseIDs {
+			resp.PredictedLoadSec[i] = opt.Plan.PredictedLoad[id]
+		}
+	}
 	writeGob(w, &resp)
 }
 
@@ -142,6 +149,11 @@ func (h *Handler) update(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dag := FromWire(req.Nodes)
+	// The run summary must land before the update: the server folds it into
+	// the scorecard it builds while folding the executed DAG into the EG.
+	if req.Run != nil {
+		h.srv.ReportRun(*req.Run, requestID(r))
+	}
 	want := h.srv.UpdateMetaReq(dag, requestID(r))
 	// Record column lineage (dedup accounting) and model kinds (warmstart
 	// donor matching), which travel outside the artifact content.
@@ -210,8 +222,44 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		WarmstartsProposed: h.srv.WarmstartsProposed(),
 	}
 	st.PlanPrunedOffPath, st.PlanPrunedByCost, st.PlanPrunedNotMaterialized = h.srv.PlanPruned()
+	if c := h.srv.Calibration(); c != nil {
+		st.Runs = c.Runs()
+		total, last := c.WallSeconds()
+		st.RunWallTime = secondsToDuration(total)
+		st.LastRunWallTime = secondsToDuration(last)
+		for _, tier := range c.LoadTiers() {
+			st.CalibLoadObs += c.LoadObservations(tier)
+		}
+		st.CalibComputeObs = c.ComputeObservations()
+		st.EstimatedSavedSec = c.EstimatedSavedSeconds()
+		st.LastSpeedup = c.LastSpeedup()
+		st.MaxDriftFamily, st.MaxDrift = c.MaxDrift()
+		st.LastRun = c.LastScorecard()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(st)
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// calibration serves the calibration report. Query parameters:
+//
+//	format=json|text  rendering (default json, byte-stable for a given
+//	                  collector state)
+func (h *Handler) calibration(w http.ResponseWriter, r *http.Request) {
+	report := h.srv.Calibration().Snapshot()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = report.WriteJSON(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = report.WriteText(w)
+	default:
+		http.Error(w, "unknown format "+format, http.StatusBadRequest)
+	}
 }
 
 // explain serves the most recent decision record. Query parameters:

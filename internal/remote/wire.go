@@ -11,6 +11,7 @@ import (
 	"encoding/gob"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/data"
 	"repro/internal/graph"
 	"repro/internal/ml"
@@ -60,6 +61,14 @@ type WireNode struct {
 	// TrainedKind is the learner kind of an executed model vertex
 	// ("logreg", "gbt", ...), needed server-side for donor matching.
 	TrainedKind string
+	// LoadedFromEG through PredictedLoad carry the client's calibration
+	// measurements back on update: whether the vertex was fetched instead
+	// of computed, how long the fetch took, which tier served it, and the
+	// Cl(v) the plan predicted. Zero values when calibration was off.
+	LoadedFromEG  bool
+	FetchTime     time.Duration
+	FetchTier     string
+	PredictedLoad time.Duration
 }
 
 // OptimizeRequest carries a pruned workload DAG in topological order.
@@ -72,11 +81,19 @@ type OptimizeResponse struct {
 	ReuseIDs   []string
 	Warmstarts []reuse.WarmstartCandidate
 	Overhead   time.Duration
+	// PredictedLoadSec is aligned index-for-index with ReuseIDs: the
+	// planner's Cl(v) prediction in seconds for each reused vertex, so the
+	// client's executor can annotate fetches for calibration. Empty from
+	// older servers.
+	PredictedLoadSec []float64
 }
 
 // UpdateRequest carries an executed DAG's meta-data.
 type UpdateRequest struct {
 	Nodes []WireNode
+	// Run optionally carries the client's post-execution summary
+	// (wall-clock, measured fetch totals) for the calibration scorecard.
+	Run *calib.ClientRun
 }
 
 // UpdateResponse lists the vertex IDs whose content the server asks the
@@ -118,6 +135,20 @@ type Stats struct {
 	PlanPrunedOffPath         int64
 	PlanPrunedByCost          int64
 	PlanPrunedNotMaterialized int64
+	// Runs onward summarize the calibration scorecard: measured client
+	// runs, their wall-clock totals, observation counts, estimated time
+	// saved by reuse, the most recent realized speedup, and the worst
+	// cost-family drift.
+	Runs              int64
+	RunWallTime       time.Duration
+	LastRunWallTime   time.Duration
+	CalibLoadObs      int64
+	CalibComputeObs   int64
+	EstimatedSavedSec float64
+	LastSpeedup       float64
+	MaxDrift          float64
+	MaxDriftFamily    string
+	LastRun           *calib.Scorecard
 }
 
 // ToWire flattens a workload DAG into wire nodes in topological order.
@@ -126,13 +157,17 @@ func ToWire(w *graph.DAG) []WireNode {
 	out := make([]WireNode, 0, len(order))
 	for _, n := range order {
 		wn := WireNode{
-			ID:          n.ID,
-			Kind:        n.Kind,
-			Name:        n.Name,
-			Computed:    n.Computed,
-			ComputeTime: n.ComputeTime,
-			SizeBytes:   n.SizeBytes,
-			Quality:     n.Quality,
+			ID:            n.ID,
+			Kind:          n.Kind,
+			Name:          n.Name,
+			Computed:      n.Computed,
+			ComputeTime:   n.ComputeTime,
+			SizeBytes:     n.SizeBytes,
+			Quality:       n.Quality,
+			LoadedFromEG:  n.LoadedFromEG,
+			FetchTime:     n.FetchTime,
+			FetchTier:     n.FetchTier,
+			PredictedLoad: n.PredictedLoad,
 		}
 		for _, p := range n.Parents {
 			wn.Parents = append(wn.Parents, p.ID)
@@ -198,13 +233,17 @@ func FromWire(nodes []WireNode) *graph.DAG {
 	byID := make(map[string]*graph.Node, len(nodes))
 	for _, wn := range nodes {
 		n := &graph.Node{
-			ID:          wn.ID,
-			Kind:        wn.Kind,
-			Name:        wn.Name,
-			Computed:    wn.Computed,
-			ComputeTime: wn.ComputeTime,
-			SizeBytes:   wn.SizeBytes,
-			Quality:     wn.Quality,
+			ID:            wn.ID,
+			Kind:          wn.Kind,
+			Name:          wn.Name,
+			Computed:      wn.Computed,
+			ComputeTime:   wn.ComputeTime,
+			SizeBytes:     wn.SizeBytes,
+			Quality:       wn.Quality,
+			LoadedFromEG:  wn.LoadedFromEG,
+			FetchTime:     wn.FetchTime,
+			FetchTier:     wn.FetchTier,
+			PredictedLoad: wn.PredictedLoad,
 		}
 		for _, pid := range wn.Parents {
 			if p := byID[pid]; p != nil {

@@ -73,9 +73,39 @@ type Plan struct {
 	// RecreationCost is the forward-pass cost estimate per vertex in
 	// seconds (diagnostics and tests).
 	RecreationCost map[string]float64
+	// PredictedLoad is the Cl(v) the cost comparison used, in seconds, for
+	// every vertex in Reuse — the prediction the calibration layer checks
+	// against the measured fetch time.
+	PredictedLoad map[string]float64
+	// PredictedCompute is the finite Ci(v) the comparison used, in
+	// seconds, for every computable vertex the plan executes (vertices the
+	// EG has never seen carry Ci = ∞ and are omitted).
+	PredictedCompute map[string]float64
 	// Stats counts the planner's decisions, feeding the server's
 	// observability counters.
 	Stats PlanStats
+}
+
+// withPredictions fills PredictedLoad/PredictedCompute from the planning
+// costs so executors can annotate fetches with the exact numbers the
+// decision used.
+func (p *Plan) withPredictions(w *graph.DAG, costs Costs) *Plan {
+	p.PredictedLoad = make(map[string]float64, len(p.Reuse))
+	p.PredictedCompute = make(map[string]float64)
+	for id := range p.Reuse {
+		if cl := costs.Load[id]; !math.IsInf(cl, 1) {
+			p.PredictedLoad[id] = cl
+		}
+	}
+	for _, n := range w.Nodes() {
+		if n.IsSource() || n.Computed || n.Kind == graph.SupernodeKind || p.Reuse[n.ID] {
+			continue
+		}
+		if ci, ok := costs.Compute[n.ID]; ok && !math.IsInf(ci, 1) && ci > 0 {
+			p.PredictedCompute[n.ID] = ci
+		}
+	}
+	return p
 }
 
 // PlanStats counts one planning pass's decisions, reason-coded so the
@@ -165,7 +195,8 @@ func (Linear) Plan(w *graph.DAG, costs Costs) *Plan {
 		}
 	}
 	final := backwardPrune(w, reuse)
-	return &Plan{Reuse: final, Candidates: reuse, RecreationCost: rec, Stats: planStats(w, costs, reuse, final)}
+	p := &Plan{Reuse: final, Candidates: reuse, RecreationCost: rec, Stats: planStats(w, costs, reuse, final)}
+	return p.withPredictions(w, costs)
 }
 
 // backwardPrune walks from the terminals toward the sources, keeping only
@@ -268,7 +299,8 @@ func (Helix) Plan(w *graph.DAG, costs Costs) *Plan {
 		}
 	}
 	final := backwardPrune(w, reuse)
-	return &Plan{Reuse: final, Candidates: reuse, RecreationCost: rec, Stats: planStats(w, costs, reuse, final)}
+	p := &Plan{Reuse: final, Candidates: reuse, RecreationCost: rec, Stats: planStats(w, costs, reuse, final)}
+	return p.withPredictions(w, costs)
 }
 
 // AllMaterialized loads every materialized vertex regardless of cost
@@ -287,7 +319,8 @@ func (AllMaterialized) Plan(w *graph.DAG, costs Costs) *Plan {
 		}
 	}
 	final := backwardPrune(w, reuse)
-	return &Plan{Reuse: final, Candidates: reuse, Stats: planStats(w, costs, reuse, final)}
+	p := &Plan{Reuse: final, Candidates: reuse, Stats: planStats(w, costs, reuse, final)}
+	return p.withPredictions(w, costs)
 }
 
 // AllCompute never reuses anything (§7.4's ALL_C, the no-reuse baseline).
@@ -299,5 +332,6 @@ func (AllCompute) Name() string { return "ALL_C" }
 // Plan implements Planner.
 func (AllCompute) Plan(w *graph.DAG, costs Costs) *Plan {
 	none := map[string]bool{}
-	return &Plan{Reuse: none, Candidates: none, Stats: planStats(w, costs, none, none)}
+	p := &Plan{Reuse: none, Candidates: none, Stats: planStats(w, costs, none, none)}
+	return p.withPredictions(w, costs)
 }

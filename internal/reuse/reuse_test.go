@@ -259,3 +259,49 @@ func TestGatherCosts(t *testing.T) {
 		t.Errorf("Ci(source)=%v, want 0 (computed on client)", got)
 	}
 }
+
+func TestPlanExposesPredictedCosts(t *testing.T) {
+	// s(source) -> b -> c; b materialized and cheap to load, c must compute.
+	w := graph.NewDAG()
+	s := w.AddSource("s", &graph.AggregateArtifact{})
+	b := w.Apply(s, stubOp{"b", graph.DatasetKind})
+	c := w.Apply(b, stubOp{"c", graph.DatasetKind})
+	inf := math.Inf(1)
+	costs := Costs{
+		Compute: map[string]float64{b.ID: 5, c.ID: 2},
+		Load:    map[string]float64{b.ID: 0.5, c.ID: inf},
+	}
+	plan := Linear{}.Plan(w, costs)
+	if !plan.Reuse[b.ID] {
+		t.Fatalf("expected b reused, got %v", plan.Reuse)
+	}
+	if got := plan.PredictedLoad[b.ID]; got != 0.5 {
+		t.Errorf("PredictedLoad[b] = %v, want 0.5", got)
+	}
+	if _, ok := plan.PredictedLoad[c.ID]; ok {
+		t.Error("PredictedLoad should only cover reused vertices")
+	}
+	if got := plan.PredictedCompute[c.ID]; got != 2 {
+		t.Errorf("PredictedCompute[c] = %v, want 2", got)
+	}
+	if _, ok := plan.PredictedCompute[b.ID]; ok {
+		t.Error("PredictedCompute must not cover reused vertices")
+	}
+}
+
+func TestAllComputePlanPredictions(t *testing.T) {
+	w := graph.NewDAG()
+	s := w.AddSource("s", &graph.AggregateArtifact{})
+	b := w.Apply(s, stubOp{"b", graph.DatasetKind})
+	costs := Costs{
+		Compute: map[string]float64{b.ID: 3},
+		Load:    map[string]float64{b.ID: 0.1},
+	}
+	plan := AllCompute{}.Plan(w, costs)
+	if len(plan.PredictedLoad) != 0 {
+		t.Errorf("ALL_C PredictedLoad = %v, want empty", plan.PredictedLoad)
+	}
+	if got := plan.PredictedCompute[b.ID]; got != 3 {
+		t.Errorf("PredictedCompute[b] = %v, want 3", got)
+	}
+}

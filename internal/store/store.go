@@ -186,7 +186,7 @@ func (m *Manager) Disk() *tier.Disk { return m.disk }
 func (m *Manager) touchLocked(vertexID string) {
 	m.clock++
 	m.lastUse[vertexID] = m.clock
-	m.lastTouch[vertexID] = time.Now()
+	m.lastTouch[vertexID] = obs.Timestamp()
 }
 
 // Put stores the artifact content for a vertex in the memory tier. Dataset
@@ -530,7 +530,7 @@ func (m *Manager) DemoteIdle(olderThan time.Duration) int {
 	if m.disk == nil {
 		return 0
 	}
-	cutoff := time.Now().Add(-olderThan)
+	cutoff := obs.Timestamp().Add(-olderThan)
 	var victims []string
 	for id := range m.frames {
 		if m.lastTouch[id].Before(cutoff) {
