@@ -12,10 +12,13 @@
 // suffix so runs from machines with different core counts compare.
 //
 // A benchmark regresses when its fresh ns/op exceeds the baseline by more
-// than the tolerance (default ±30%). Regressions are always reported;
-// they fail the run (exit 1) only with -strict or BENCH_STRICT=1 in the
-// environment, so CI warns by default and release gates can opt into
-// hard enforcement.
+// than the tolerance (default ±30%). Benchmark families run under several
+// pool widths ("/workers=1" vs "/workers=N") additionally have their
+// parallel speedup — ns at one worker over ns at N — compared against the
+// baseline's speedup, catching kernels that stay fast per-op but lose
+// their scaling. Regressions are always reported; they fail the run
+// (exit 1) only with -strict or BENCH_STRICT=1 in the environment, so CI
+// warns by default and release gates can opt into hard enforcement.
 package main
 
 import (
@@ -88,6 +91,33 @@ func main() {
 	fmt.Printf("benchcheck: %d compared, %d regressed, %d without baseline (tolerance ±%.0f%%)\n",
 		compared, regressed, unmatched, *tolerance*100)
 
+	// Worker-scaling report: for every benchmark family measured at
+	// /workers=1 and /workers=N, compare the parallel speedup
+	// (ns at 1 worker / ns at N workers) against the baseline's speedup.
+	// A kernel whose per-op time stays flat can pass the ns/op check while
+	// silently losing its parallelism — the ratio comparison catches that.
+	freshScale, baseScale := scalingRatios(fresh), scalingRatios(baseline)
+	scaleNames := make([]string, 0, len(freshScale))
+	for name := range freshScale {
+		scaleNames = append(scaleNames, name)
+	}
+	sort.Strings(scaleNames)
+	for _, name := range scaleNames {
+		got := freshScale[name]
+		base, ok := baseScale[name]
+		if !ok {
+			fmt.Printf("scaling   %-50s %.2fx (no baseline)\n", name, got)
+			continue
+		}
+		if got < base*(1-*tolerance) {
+			regressed++
+			fmt.Printf("SCALING REGRESSED %-40s %.2fx -> %.2fx speedup (tolerance %.2fx)\n",
+				name, base, got, base*(1-*tolerance))
+		} else {
+			fmt.Printf("scaling   %-50s %.2fx -> %.2fx speedup\n", name, base, got)
+		}
+	}
+
 	if regressed > 0 {
 		if *strict || os.Getenv("BENCH_STRICT") == "1" {
 			os.Exit(1)
@@ -111,6 +141,31 @@ func loadResults(path string) (map[string]benchResult, error) {
 		out[normalizeName(r.Name)] = r
 	}
 	return out, nil
+}
+
+// scalingRatios extracts parallel speedups from benchmark families that run
+// under multiple pool widths ("<base>/workers=1" vs "<base>/workers=N").
+// The returned map is keyed by "<base>/workers=N" (N > 1) and holds
+// ns(workers=1) / ns(workers=N).
+func scalingRatios(results map[string]benchResult) map[string]float64 {
+	const marker = "/workers="
+	out := make(map[string]float64)
+	for name, r := range results {
+		i := strings.LastIndex(name, marker)
+		if i < 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		width := name[i+len(marker):]
+		if width == "1" {
+			continue
+		}
+		seq, ok := results[name[:i]+marker+"1"]
+		if !ok || seq.NsPerOp <= 0 {
+			continue
+		}
+		out[name] = seq.NsPerOp / r.NsPerOp
+	}
+	return out
 }
 
 // normalizeName strips the trailing -<digits> GOMAXPROCS suffix Go appends

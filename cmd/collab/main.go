@@ -25,6 +25,7 @@ import (
 	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/data"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/persist"
@@ -174,6 +175,8 @@ func (f *obsFlags) start() ([]core.ExecOption, error) {
 		f.reused = reg.Counter("collab_client_reused_vertices_total", "Vertices loaded from the server instead of recomputed.")
 		f.warm = reg.Counter("collab_client_warmstarted_total", "Trainings that started from a server-proposed donor model.")
 		f.seconds = reg.Histogram("collab_client_run_seconds", "Wall-clock time per workload run.", obs.DefBuckets)
+		data.RegisterMetrics(reg) // kernels run client-side; expose their op counters here
+
 		ln, err := net.Listen("tcp", f.metricsAddr)
 		if err != nil {
 			return nil, fmt.Errorf("metrics-addr: %w", err)

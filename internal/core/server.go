@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/calib"
+	"repro/internal/data"
 	"repro/internal/eg"
 	"repro/internal/explain"
 	"repro/internal/graph"
@@ -237,6 +238,9 @@ func (s *Server) initMetrics() {
 				"candidates rejected by the load-cost veto (Cl >= Cr)"),
 		})
 	}
+	// Columnar-kernel counters (join/group-by/one-hot row throughput,
+	// partition counts, dictionary hit ratio).
+	data.RegisterMetrics(reg)
 	// Calibration families (predicted-vs-actual cost quality) and Go
 	// runtime health, both scrape-backed.
 	calib.RegisterMetrics(reg, s.calib)

@@ -1,0 +1,52 @@
+package data
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestStringAtAllocationFree pins the zero-allocation guarantee of StringAt
+// on representations that return shared storage: plain strings, dictionary
+// entries, and the bool constants. (Numeric cells format through strconv
+// and legitimately allocate.)
+func TestStringAtAllocationFree(t *testing.T) {
+	cols := map[string]*Column{
+		"plain": NewStringColumn("s", []string{"a", "bb", "ccc"}),
+		"dict":  NewStringColumn("d", []string{"x", "y", "x"}).DictEncoded(),
+		"bool":  NewBoolColumn("b", []bool{true, false, true}),
+	}
+	var sink string
+	for name, c := range cols {
+		c := c
+		if a := testing.AllocsPerRun(100, func() {
+			for i := 0; i < c.Len(); i++ {
+				sink = c.StringAt(i)
+			}
+		}); a != 0 {
+			t.Errorf("StringAt on %s column allocates %.1f per run, want 0", name, a)
+		}
+	}
+	_ = sink
+}
+
+// TestRenderKeysAllocationBound pins the key-rendering cost on dictionary
+// columns: one output slice, not one allocation per row. The old kernel
+// formatted every cell through fmt, allocating per row even for strings.
+func TestRenderKeysAllocationBound(t *testing.T) {
+	vals := make([]string, 10000)
+	for i := range vals {
+		vals[i] = []string{"north", "south", "east", "west"}[i%4]
+	}
+	dc := NewStringColumn("d", vals).DictEncoded()
+	prev := parallel.SetWorkers(1) // keep pool-helper allocations out of the count
+	defer parallel.SetWorkers(prev)
+	var sink []string
+	allocs := testing.AllocsPerRun(10, func() { sink = renderKeys(dc) })
+	_ = sink
+	// The output slice itself, plus a little slack for the testing harness;
+	// anything proportional to rows (10000) fails loudly.
+	if allocs > 4 {
+		t.Errorf("renderKeys on a dict column allocates %.1f per run, want <= 4", allocs)
+	}
+}

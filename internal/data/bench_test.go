@@ -3,6 +3,7 @@ package data
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"repro/internal/parallel"
@@ -24,8 +25,24 @@ func BenchmarkJoinParallel(b *testing.B) {
 	left := benchFrame(200000, 1)
 	right := benchFrame(100000, 2)
 	benchWorkers(b, func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := left.Join(right, "id", Left, "op"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkJoinDictKeyParallel joins on a dictionary-encoded string key:
+// the kernel remaps dictionary codes instead of hashing rendered strings.
+func BenchmarkJoinDictKeyParallel(b *testing.B) {
+	left := benchStringKeyFrame(200000, 1)
+	right := benchStringKeyFrame(100000, 2)
+	benchWorkers(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := left.Join(right, "sid", Left, "op"); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -36,8 +53,23 @@ func BenchmarkGroupByParallel(b *testing.B) {
 	f := benchFrame(200000, 3)
 	aggs := []Agg{{Col: "v", Kind: AggMean}, {Col: "v", Kind: AggSum}, {Col: "v", Kind: AggMax}}
 	benchWorkers(b, func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := f.GroupBy("id", aggs, "op"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGroupByDictKeyParallel groups by a dictionary-encoded string key.
+func BenchmarkGroupByDictKeyParallel(b *testing.B) {
+	f := benchStringKeyFrame(200000, 3)
+	aggs := []Agg{{Col: "v", Kind: AggMean}, {Col: "v", Kind: AggSum}, {Col: "v", Kind: AggMax}}
+	benchWorkers(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.GroupBy("sid", aggs, "op"); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -47,12 +79,29 @@ func BenchmarkGroupByParallel(b *testing.B) {
 func BenchmarkOneHotParallel(b *testing.B) {
 	f := benchFrame(200000, 4)
 	benchWorkers(b, func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := f.OneHot("cat", "op"); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// benchStringKeyFrame is benchFrame plus a dictionary-encoded string key
+// column "sid" mirroring the int "id" column (same join cardinality).
+func benchStringKeyFrame(rows int, seed int64) *Frame {
+	f := benchFrame(rows, seed)
+	id := f.Column("id")
+	vals := make([]string, id.Len())
+	for i := range vals {
+		vals[i] = "s" + strconv.FormatInt(id.Ints[i], 10)
+	}
+	out, err := f.WithColumn(NewStringColumn("sid", vals).DictEncoded())
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 func benchFrame(rows int, seed int64) *Frame {

@@ -3,8 +3,8 @@ package data
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"math"
+	"strconv"
 )
 
 // Column is a single named, typed vector of values plus its lineage ID.
@@ -27,6 +27,13 @@ type Column struct {
 	Ints    []int64
 	Strings []string
 	Bools   []bool
+
+	// Dict and Codes are the dictionary-encoded representation of a
+	// String column (see dict.go): when set (and Strings is nil), the cell
+	// at row i is Dict[Codes[i]]. Dictionaries built by this package are
+	// unique and sorted ascending.
+	Dict  []string
+	Codes []uint32
 }
 
 // DeriveID computes the lineage ID of a column produced by the operation
@@ -73,6 +80,9 @@ func (c *Column) Len() int {
 	case Int64:
 		return len(c.Ints)
 	case String:
+		if c.IsDict() {
+			return len(c.Codes)
+		}
 		return len(c.Strings)
 	case Bool:
 		return len(c.Bools)
@@ -92,6 +102,13 @@ func (c *Column) SizeBytes() int64 {
 	case Int64:
 		return int64(len(c.Ints)) * 8
 	case String:
+		if c.IsDict() {
+			var n int64
+			for _, s := range c.Dict {
+				n += int64(len(s)) + 16
+			}
+			return n + int64(len(c.Codes))*4
+		}
 		var n int64
 		for _, s := range c.Strings {
 			n += int64(len(s)) + 16
@@ -122,17 +139,25 @@ func (c *Column) Float(i int) float64 {
 	}
 }
 
-// StringAt returns the value at row i rendered as a string.
+// StringAt returns the value at row i rendered as a string. String and
+// Bool cells return shared storage without allocating; numeric cells
+// format through strconv (identical output to fmt's %g / %d verbs).
 func (c *Column) StringAt(i int) string {
 	switch c.Type {
 	case Float64:
-		return fmt.Sprintf("%g", c.Floats[i])
+		return strconv.FormatFloat(c.Floats[i], 'g', -1, 64)
 	case Int64:
-		return fmt.Sprintf("%d", c.Ints[i])
+		return strconv.FormatInt(c.Ints[i], 10)
 	case String:
+		if c.IsDict() {
+			return c.Dict[c.Codes[i]]
+		}
 		return c.Strings[i]
 	case Bool:
-		return fmt.Sprintf("%t", c.Bools[i])
+		if c.Bools[i] {
+			return "true"
+		}
+		return "false"
 	default:
 		return ""
 	}
@@ -146,6 +171,9 @@ func (c *Column) IsMissing(i int) bool {
 	case Float64:
 		return math.IsNaN(c.Floats[i])
 	case String:
+		if c.IsDict() {
+			return c.Dict[c.Codes[i]] == ""
+		}
 		return c.Strings[i] == ""
 	default:
 		return false
@@ -174,6 +202,9 @@ func (c *Column) Gather(idx []int, id string) *Column {
 			}
 		}
 	case String:
+		if c.IsDict() {
+			return c.dictGather(idx, id)
+		}
 		out.Strings = make([]string, len(idx))
 		for j, i := range idx {
 			if i >= 0 {

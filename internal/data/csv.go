@@ -85,7 +85,9 @@ func inferColumn(dataset, name string, cells []string) *Column {
 	default:
 		vals := make([]string, len(cells))
 		copy(vals, cells)
-		return &Column{ID: id, Name: name, Type: String, Strings: vals}
+		// Low-cardinality string columns enter the system already
+		// dictionary-encoded, so joins/group-bys downstream hash codes.
+		return dictEncodeIfCompact(&Column{ID: id, Name: name, Type: String, Strings: vals})
 	}
 }
 

@@ -29,7 +29,9 @@ func (f *Frame) FilterFloat(col string, pred func(float64) bool, opHash string) 
 	return f.Gather(idx, opHash), nil
 }
 
-// FilterString returns the rows of f where pred(string value) is true.
+// FilterString returns the rows of f where pred(string value) is true. On
+// dictionary-encoded columns pred runs once per distinct value, not once
+// per row.
 func (f *Frame) FilterString(col string, pred func(string) bool, opHash string) (*Frame, error) {
 	c := f.Column(col)
 	if c == nil {
@@ -39,6 +41,18 @@ func (f *Frame) FilterString(col string, pred func(string) bool, opHash string) 
 		return nil, fmt.Errorf("data: filter: column %q is %s, want string", col, c.Type)
 	}
 	var idx []int
+	if c.IsDict() {
+		keep := make([]bool, len(c.Dict))
+		for code, s := range c.Dict {
+			keep[code] = pred(s)
+		}
+		for i, code := range c.Codes {
+			if keep[code] {
+				idx = append(idx, i)
+			}
+		}
+		return f.Gather(idx, opHash), nil
+	}
 	for i, s := range c.Strings {
 		if pred(s) {
 			idx = append(idx, i)
@@ -153,17 +167,37 @@ func (f *Frame) OneHot(col string, opHash string) (*Frame, error) {
 	if c.Type != String {
 		return nil, fmt.Errorf("data: onehot: column %q is %s, want string", col, c.Type)
 	}
-	cats := make(map[string]bool)
-	for _, s := range c.Strings {
-		if s != "" {
-			cats[s] = true
+	metOneHotRows.Add(int64(c.Len()))
+	var sorted []string
+	if c.IsDict() {
+		// Categories are the dictionary entries actually present in the
+		// code vector (a gathered column can share a wider dictionary than
+		// its rows reference), excluding the missing value "".
+		used := make([]bool, len(c.Dict))
+		for _, code := range c.Codes {
+			used[code] = true
 		}
+		for code, s := range c.Dict {
+			if used[code] && s != "" {
+				sorted = append(sorted, s)
+			}
+		}
+		if !sort.StringsAreSorted(sorted) {
+			sort.Strings(sorted)
+		}
+	} else {
+		cats := make(map[string]bool)
+		for _, s := range c.Strings {
+			if s != "" {
+				cats[s] = true
+			}
+		}
+		sorted = make([]string, 0, len(cats))
+		for s := range cats {
+			sorted = append(sorted, s)
+		}
+		sort.Strings(sorted)
 	}
-	sorted := make([]string, 0, len(cats))
-	for s := range cats {
-		sorted = append(sorted, s)
-	}
-	sort.Strings(sorted)
 
 	out, err := f.Drop(col)
 	if err != nil {
@@ -171,14 +205,27 @@ func (f *Frame) OneHot(col string, opHash string) (*Frame, error) {
 	}
 	// Each category's indicator column is independent: build them on the
 	// shared pool, then append sequentially in sorted-category order.
+	// Dictionary-encoded columns compare 4-byte codes instead of strings.
 	indicators := make([]*Column, len(sorted))
 	parallel.For(len(sorted), 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			cat := sorted[k]
 			vals := make([]float64, c.Len())
-			for i, s := range c.Strings {
-				if s == cat {
-					vals[i] = 1
+			if c.IsDict() {
+				match := make([]bool, len(c.Dict))
+				for code, s := range c.Dict {
+					match[code] = s == cat
+				}
+				for i, code := range c.Codes {
+					if match[code] {
+						vals[i] = 1
+					}
+				}
+			} else {
+				for i, s := range c.Strings {
+					if s == cat {
+						vals[i] = 1
+					}
 				}
 			}
 			indicators[k] = &Column{
@@ -213,55 +260,22 @@ const (
 // the output; name collisions on non-key columns get a "_r" suffix on the
 // right. Joins re-align rows, so every output column is re-materialized with
 // an opHash-derived ID.
+//
+// The kernel is a radix-partitioned hash join (join.go): keys reduce to
+// typed tokens (dictionary codes, raw numeric bits, or rendered strings as
+// the fallback — equality always matches the string-rendering semantics),
+// partition by hash, build per-partition indexes concurrently, and probe
+// left rows in fixed chunks. Output row order is the sequential kernel's:
+// left-row order, with each left row's matches in ascending right-row
+// order, bit-identical at any pool width.
 func (f *Frame) Join(right *Frame, key string, kind JoinKind, opHash string) (*Frame, error) {
 	lk := f.Column(key)
 	rk := right.Column(key)
 	if lk == nil || rk == nil {
 		return nil, fmt.Errorf("data: join: key %q missing (left=%v right=%v)", key, lk != nil, rk != nil)
 	}
-	// Build hash index over the right side, keyed by the string rendering
-	// so int/float keys compare consistently. Key rendering is the
-	// expensive part (per-cell formatting), so it runs chunked on the
-	// shared pool; the map build stays sequential.
-	rkeys := renderKeys(rk)
-	index := make(map[string][]int, right.NumRows())
-	for i, k := range rkeys {
-		index[k] = append(index[k], i)
-	}
-	// Probe in row chunks with per-chunk match buffers; concatenating the
-	// chunks in order reproduces the sequential row order exactly.
-	nL := lk.Len()
-	nparts := (nL + rowGrain - 1) / rowGrain
-	type matches struct{ l, r []int }
-	parts := make([]matches, nparts)
-	parallel.For(nL, rowGrain, func(lo, hi int) {
-		var m matches
-		for i := lo; i < hi; i++ {
-			hit := index[lk.StringAt(i)]
-			if len(hit) == 0 {
-				if kind == Left {
-					m.l = append(m.l, i)
-					m.r = append(m.r, -1)
-				}
-				continue
-			}
-			for _, j := range hit {
-				m.l = append(m.l, i)
-				m.r = append(m.r, j)
-			}
-		}
-		parts[lo/rowGrain] = m
-	})
-	total := 0
-	for _, m := range parts {
-		total += len(m.l)
-	}
-	lidx := make([]int, 0, total)
-	ridx := make([]int, 0, total)
-	for _, m := range parts {
-		lidx = append(lidx, m.l...)
-		ridx = append(ridx, m.r...)
-	}
+	lidx, ridx := joinRowIndices(lk, rk, kind)
+	metJoinRows.Add(int64(lk.Len() + rk.Len() + len(lidx)))
 	// Materialize the output columns in parallel (each gather is an
 	// independent O(rows) copy), then attach sequentially so collision
 	// renaming stays order-dependent and deterministic.
@@ -382,39 +396,56 @@ type Agg struct {
 // The output has one row per distinct key (sorted) with columns key,
 // "col_kind"... Aggregation produces entirely new data, so all output
 // columns carry opHash-derived IDs.
+//
+// The kernel is the partitioned group-by engine (groupby.go): chunk-local
+// partial aggregation, deterministic partition merge, then one rendered key
+// per distinct group. Row lists are never materialized; every aggregate
+// derives from one merged (count, sum, min, max) state per (group, column).
 func (f *Frame) GroupBy(key string, aggs []Agg, opHash string) (*Frame, error) {
 	kc := f.Column(key)
 	if kc == nil {
 		return nil, fmt.Errorf("data: groupby: no column %q", key)
 	}
-	keys := renderKeys(kc)
-	groups := make(map[string][]int)
-	order := make([]string, 0)
-	for i, k := range keys {
-		if _, seen := groups[k]; !seen {
-			order = append(order, k)
+	// Resolve aggregated columns up front, deduping by name so several
+	// aggregates over one column share a single partial-aggregate slot.
+	aggCols := make([]*Column, 0, len(aggs))
+	slotOf := make(map[string]int, len(aggs))
+	slots := make([]int, len(aggs))
+	for ai, a := range aggs {
+		slot, seen := slotOf[a.Col]
+		if !seen {
+			c := f.Column(a.Col)
+			if c == nil {
+				return nil, fmt.Errorf("data: groupby: no column %q", a.Col)
+			}
+			slot = len(aggCols)
+			aggCols = append(aggCols, c)
+			slotOf[a.Col] = slot
 		}
-		groups[k] = append(groups[k], i)
+		slots[ai] = slot
 	}
-	sort.Strings(order)
+	metGroupByRows.Add(int64(kc.Len()))
 
-	keyOut := kc.Gather(firstIndices(groups, order), DeriveID(opHash+"\x01key", kc.ID))
+	groups := groupByTokens(kc, aggCols)
+	sortGroupsByRenderedKey(kc, groups)
+
+	firstRows := make([]int, len(groups))
+	for gi, g := range groups {
+		firstRows[gi] = int(g.firstRow)
+	}
+	keyOut := kc.Gather(firstRows, DeriveID(opHash+"\x01key", kc.ID))
 	out, err := NewFrame(keyOut)
 	if err != nil {
 		return nil, err
 	}
-	for _, a := range aggs {
-		c := f.Column(a.Col)
-		if c == nil {
-			return nil, fmt.Errorf("data: groupby: no column %q", a.Col)
-		}
-		vals := make([]float64, len(order))
-		// Groups are independent; the map is read-only here, and each
-		// chunk writes a disjoint slice range, so the result matches
-		// the sequential loop exactly.
-		parallel.For(len(order), 256, func(lo, hi int) {
+	for ai, a := range aggs {
+		c := aggCols[slots[ai]]
+		vals := make([]float64, len(groups))
+		slot := slots[ai]
+		parallel.For(len(groups), 256, func(lo, hi int) {
 			for gi := lo; gi < hi; gi++ {
-				vals[gi] = aggregate(c, groups[order[gi]], a.Kind)
+				g := groups[gi]
+				vals[gi] = g.stats[slot].value(a.Kind, g.rows)
 			}
 		})
 		name := a.Col + "_" + a.Kind.String()
@@ -429,58 +460,6 @@ func (f *Frame) GroupBy(key string, aggs []Agg, opHash string) (*Frame, error) {
 		}
 	}
 	return out, nil
-}
-
-func firstIndices(groups map[string][]int, order []string) []int {
-	idx := make([]int, len(order))
-	for i, k := range order {
-		idx[i] = groups[k][0]
-	}
-	return idx
-}
-
-func aggregate(c *Column, rows []int, kind AggKind) float64 {
-	if kind == AggCount {
-		return float64(len(rows))
-	}
-	var sum float64
-	mn, mx := math.Inf(1), math.Inf(-1)
-	n := 0
-	for _, i := range rows {
-		if c.IsMissing(i) {
-			continue
-		}
-		v := c.Float(i)
-		sum += v
-		if v < mn {
-			mn = v
-		}
-		if v > mx {
-			mx = v
-		}
-		n++
-	}
-	switch kind {
-	case AggSum:
-		return sum
-	case AggMean:
-		if n == 0 {
-			return math.NaN()
-		}
-		return sum / float64(n)
-	case AggMin:
-		if n == 0 {
-			return math.NaN()
-		}
-		return mn
-	case AggMax:
-		if n == 0 {
-			return math.NaN()
-		}
-		return mx
-	default:
-		return math.NaN()
-	}
 }
 
 // Align removes from both frames every column whose name does not appear in

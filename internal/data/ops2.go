@@ -18,23 +18,38 @@ func (f *Frame) SortBy(col string, desc bool, opHash string) (*Frame, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	less := func(a, b int) bool {
-		if c.Type == String {
+	var less func(a, b int) bool
+	switch {
+	case c.IsDict() && c.dictIsSorted():
+		// Sorted dictionary: code order is lexicographic order, so the
+		// comparator stays in 4-byte integers.
+		less = func(a, b int) bool {
 			if desc {
-				return c.Strings[a] > c.Strings[b]
+				return c.Codes[a] > c.Codes[b]
 			}
-			return c.Strings[a] < c.Strings[b]
+			return c.Codes[a] < c.Codes[b]
 		}
-		va, vb := c.Float(a), c.Float(b)
-		switch {
-		case math.IsNaN(va):
-			return false
-		case math.IsNaN(vb):
-			return true
-		case desc:
-			return va > vb
-		default:
-			return va < vb
+	case c.Type == String:
+		less = func(a, b int) bool {
+			sa, sb := c.StringAt(a), c.StringAt(b)
+			if desc {
+				return sa > sb
+			}
+			return sa < sb
+		}
+	default:
+		less = func(a, b int) bool {
+			va, vb := c.Float(a), c.Float(b)
+			switch {
+			case math.IsNaN(va):
+				return false
+			case math.IsNaN(vb):
+				return true
+			case desc:
+				return va > vb
+			default:
+				return va < vb
+			}
 		}
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
@@ -89,9 +104,9 @@ func (f *Frame) AppendRows(other *Frame, opHash string) (*Frame, error) {
 		switch {
 		case c.Type == oc.Type && c.Type == String:
 			vals := make([]string, 0, c.Len()+oc.Len())
-			vals = append(vals, c.Strings...)
-			vals = append(vals, oc.Strings...)
-			nc = &Column{ID: id, Name: c.Name, Type: String, Strings: vals}
+			vals = append(vals, c.StringValues()...)
+			vals = append(vals, oc.StringValues()...)
+			nc = dictEncodeIfCompact(&Column{ID: id, Name: c.Name, Type: String, Strings: vals})
 		case c.Type == oc.Type && c.Type == Int64:
 			vals := make([]int64, 0, c.Len()+oc.Len())
 			vals = append(vals, c.Ints...)

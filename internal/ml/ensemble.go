@@ -228,32 +228,30 @@ func (r *RandomForest) Fit(x [][]float64, y []float64) error {
 		boots[k] = bi
 		seeds[k] = rng.Int63()
 	}
+	// One read-only binner over the full matrix, shared by every tree.
+	// Fitting each tree on its materialized bootstrap sample rebuilt the
+	// quantile binner NTrees times — an O(rows·features) serial cost per
+	// tree that flattened across-tree scaling. A bootstrap sample is just a
+	// row multiset, so each tree builds directly from its index multiset
+	// against the shared y and shared bins instead.
+	bins := newBinner(x)
 	trees := make([]*DecisionTree, r.NTrees)
-	errs := make([]error, r.NTrees)
 	parallel.For(r.NTrees, 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
-			bx := make([][]float64, n)
-			by := make([]float64, n)
-			for i, j := range boots[k] {
-				bx[i] = x[j]
-				by[i] = y[j]
-			}
 			t := &DecisionTree{
 				MaxDepth:       r.MaxDepth,
 				MinSamplesLeaf: 2,
 				MaxFeatures:    mf,
 				Classification: true,
 				Seed:           seeds[k],
+				bins:           bins,
 			}
-			errs[k] = t.Fit(bx, by)
+			t.rng = rand.New(rand.NewSource(t.Seed))
+			t.Root = t.build(y, boots[k], 0)
+			t.rng, t.bins, t.hist = nil, nil, nil // release fit-time scratch
 			trees[k] = t
 		}
 	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
 	r.Trees = trees
 	return nil
 }

@@ -88,7 +88,7 @@ func (o CountVectorize) Run(inputs []graph.Artifact) (graph.Artifact, error) {
 		return nil, fmt.Errorf("ops: count_vectorize: need string column %q", o.Col)
 	}
 	v := &ml.CountVectorizer{MaxFeatures: o.MaxFeatures}
-	m := v.FitTransform(c.Strings)
+	m := v.FitTransform(c.StringValues())
 	cols := make([]*data.Column, len(v.Tokens))
 	for j, tok := range v.Tokens {
 		vals := make([]float64, len(m))

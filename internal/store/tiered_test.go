@@ -249,3 +249,58 @@ func TestFlushToDiskSurvivesRestart(t *testing.T) {
 		t.Fatalf("recovered %d artifacts, want 2", m2.Len())
 	}
 }
+
+// TestDictColumnSurvivesTiers: a dictionary-encoded string column keeps its
+// representation (and its contents) through demotion to disk and a restart
+// recovery — the disk codec stores codes + dictionary, not expanded strings.
+func TestDictColumnSurvivesTiers(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := tier.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := data.NewStringColumn("region", []string{"north", "south", "north", "", "south", "north"}).DictEncoded()
+	if !col.IsDict() {
+		t.Fatal("setup: column should be dictionary-encoded")
+	}
+	m := NewTiered(cost.Memory(), Options{Disk: d})
+	if err := m.Put("v1", &graph.DatasetArtifact{Frame: data.MustNewFrame(col)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FlushToDisk(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(mgr *Manager, stage string) {
+		t.Helper()
+		a, tr := mgr.GetTiered("v1")
+		if tr != TierDisk || a == nil {
+			t.Fatalf("%s: artifact not on disk: %v %v", stage, a, tr)
+		}
+		got := a.(*graph.DatasetArtifact).Frame.Column("region")
+		if got == nil {
+			t.Fatalf("%s: column missing", stage)
+		}
+		if !got.IsDict() {
+			t.Fatalf("%s: column lost dictionary encoding", stage)
+		}
+		if got.Len() != col.Len() {
+			t.Fatalf("%s: %d rows, want %d", stage, got.Len(), col.Len())
+		}
+		for i := 0; i < col.Len(); i++ {
+			if got.StringAt(i) != col.StringAt(i) {
+				t.Fatalf("%s row %d: %q != %q", stage, i, got.StringAt(i), col.StringAt(i))
+			}
+		}
+	}
+	check(m, "after flush")
+
+	d2, rep, err := tier.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 0 {
+		t.Fatalf("recovery quarantined %d files", rep.Quarantined)
+	}
+	check(NewTiered(cost.Memory(), Options{Disk: d2}), "after restart")
+}

@@ -42,9 +42,22 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // Payload: Float64/Int64 are 8 bytes per row (IEEE-754 bits / two's
 // complement), Bool is 1 byte per row (0 or 1 — anything else is rejected,
 // keeping the encoding canonical), String is uint32 length + bytes per row.
+//
+// Dictionary-encoded string columns set the high bit of the dtype byte
+// (dictDType | String) and carry a different payload: uint32 dictionary
+// length, then uint32 length + bytes per dictionary entry, then one uint32
+// code per row. Codes must index the dictionary; out-of-bounds codes are
+// rejected. The dictionary itself is accepted as-is (any entries, any
+// order) so decoding stays canonical — consumers that rely on sortedness
+// re-check it.
+//
 // The encoding is canonical: any byte string that decodes successfully
 // re-encodes to exactly the same bytes, which the fuzz test exploits.
 const colMagic = "CTC1"
+
+// dictDType flags a dictionary-encoded payload in the dtype byte. Only
+// valid combined with data.String.
+const dictDType = 0x80
 
 // maxMetaLen bounds the ID and name fields (they are hex hashes and short
 // human names in practice).
@@ -62,14 +75,36 @@ func EncodeColumn(c *data.Column) ([]byte, error) {
 	if rows > math.MaxUint32 {
 		return nil, fmt.Errorf("tier: column too long (%d rows)", rows)
 	}
+	isDict := c.IsDict()
+	dtype := byte(c.Type)
+	if isDict {
+		dtype |= dictDType
+	}
 	b := make([]byte, 0, 16+len(c.ID)+len(c.Name)+rows*8)
 	b = append(b, colMagic...)
-	b = append(b, byte(c.Type))
+	b = append(b, dtype)
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.ID)))
 	b = append(b, c.ID...)
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Name)))
 	b = append(b, c.Name...)
 	b = binary.LittleEndian.AppendUint32(b, uint32(rows))
+	if isDict {
+		if len(c.Dict) > math.MaxUint32 {
+			return nil, fmt.Errorf("tier: dictionary too large (%d entries)", len(c.Dict))
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Dict)))
+		for _, s := range c.Dict {
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+			b = append(b, s...)
+		}
+		for _, code := range c.Codes {
+			if int(code) >= len(c.Dict) {
+				return nil, fmt.Errorf("tier: code %d out of bounds for %d-entry dictionary", code, len(c.Dict))
+			}
+			b = binary.LittleEndian.AppendUint32(b, code)
+		}
+		return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli)), nil
+	}
 	switch c.Type {
 	case data.Float64:
 		for _, v := range c.Floats {
@@ -145,7 +180,11 @@ func DecodeColumn(b []byte) (*data.Column, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
 	}
-	c := &data.Column{Type: data.DType(dt[0])}
+	isDict := dt[0]&dictDType != 0
+	c := &data.Column{Type: data.DType(dt[0] &^ dictDType)}
+	if isDict && c.Type != data.String {
+		return nil, fmt.Errorf("%w: dict flag on dtype %d", ErrCorrupt, dt[0]&^dictDType)
+	}
 	idLen, ok := r.u16()
 	if !ok {
 		return nil, fmt.Errorf("%w: truncated id", ErrCorrupt)
@@ -169,6 +208,49 @@ func DecodeColumn(b []byte) (*data.Column, error) {
 		return nil, fmt.Errorf("%w: truncated row count", ErrCorrupt)
 	}
 	rows := int(rows32)
+	if isDict {
+		dictLen32, ok := r.u32()
+		if !ok {
+			return nil, fmt.Errorf("%w: truncated dictionary length", ErrCorrupt)
+		}
+		dictLen := int(dictLen32)
+		// Every dictionary entry needs at least its 4-byte length prefix,
+		// so an honest dictLen is bounded by the remaining bytes; checking
+		// before allocating keeps corrupt headers from forcing huge
+		// allocations.
+		if dictLen > (len(body)-r.off)/4 {
+			return nil, fmt.Errorf("%w: dictionary length %d exceeds payload", ErrCorrupt, dictLen)
+		}
+		dict := make([]string, dictLen)
+		for i := range dict {
+			n, ok := r.u32()
+			if !ok {
+				return nil, fmt.Errorf("%w: truncated dictionary entry length", ErrCorrupt)
+			}
+			s, ok := r.take(int(n))
+			if !ok {
+				return nil, fmt.Errorf("%w: truncated dictionary entry", ErrCorrupt)
+			}
+			dict[i] = string(s)
+		}
+		payload, ok := r.take(rows * 4)
+		if !ok {
+			return nil, fmt.Errorf("%w: truncated code payload", ErrCorrupt)
+		}
+		codes := make([]uint32, rows)
+		for i := range codes {
+			code := binary.LittleEndian.Uint32(payload[i*4:])
+			if int(code) >= dictLen {
+				return nil, fmt.Errorf("%w: code %d out of bounds for %d-entry dictionary", ErrCorrupt, code, dictLen)
+			}
+			codes[i] = code
+		}
+		c.Dict, c.Codes = dict, codes
+		if r.off != len(body) {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-r.off)
+		}
+		return c, nil
+	}
 	switch c.Type {
 	case data.Float64:
 		payload, ok := r.take(rows * 8)
@@ -189,6 +271,11 @@ func DecodeColumn(b []byte) (*data.Column, error) {
 			c.Ints[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
 		}
 	case data.String:
+		// Each row needs at least its 4-byte length prefix; bound rows by
+		// the remaining bytes before allocating the header array.
+		if rows > (len(body)-r.off)/4 {
+			return nil, fmt.Errorf("%w: row count %d exceeds payload", ErrCorrupt, rows)
+		}
 		c.Strings = make([]string, rows)
 		for i := range c.Strings {
 			n, ok := r.u32()

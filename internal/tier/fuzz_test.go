@@ -27,6 +27,9 @@ func FuzzColumnCodec(f *testing.F) {
 		data.NewStringColumn("s", []string{"", "héllo", "a\x00b"}),
 		data.NewBoolColumn("b", []bool{true, false}),
 		data.NewFloatColumn("empty", nil),
+		data.NewDictColumn("d", []string{"", "aa", "bb"}, []uint32{2, 0, 1, 2}),
+		data.NewStringColumn("de", []string{"x", "y", "x"}).DictEncoded(),
+		data.NewDictColumn("dempty", []string{}, nil),
 	} {
 		enc, err := EncodeColumn(c)
 		if err != nil {
