@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fmt-check lint-logs bench bench-json bench-store bench-check fuzz cover ci
+.PHONY: build vet test race fmt-check lint-logs bench bench-json bench-store bench-check bench-serve bench-serve-check fuzz cover ci
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,22 @@ bench-check:
 	@$(GO) run ./cmd/benchcheck -new BENCH_check.json BENCH_exec.json BENCH_store.json; \
 		status=$$?; rm -f BENCH_check.json; exit $$status
 
+# bench-serve runs the open-loop load harness against an in-process server
+# and writes the per-endpoint latency scoreboard (BENCH_serve.json) — the
+# committed serve baseline.
+bench-serve:
+	$(GO) run ./cmd/loadgen -mix mixed -rps 50 -duration 10s -warmup 2s \
+		-seed 42 -o BENCH_serve.json
+
+# bench-serve-check is the CI smoke run: a short, low-rate load against an
+# in-process server compared per-endpoint (p95, errors) against the
+# committed BENCH_serve.json. Warn-only unless BENCH_STRICT=1.
+bench-serve-check:
+	@$(GO) run ./cmd/loadgen -mix mixed -rps 20 -duration 2s -warmup 500ms \
+		-seed 42 -o BENCH_serve_check.json
+	@$(GO) run ./cmd/benchcheck -serve-new BENCH_serve_check.json BENCH_serve.json; \
+		status=$$?; rm -f BENCH_serve_check.json; exit $$status
+
 # fuzz replays the committed seed corpus and explores the on-disk column
 # codec for a short budget (corruption must never decode successfully).
 fuzz:
@@ -90,7 +106,7 @@ cover:
 	$(GO) test -cover ./...
 
 # ci is the tier-1 gate: build, vet, formatting, log hygiene, tests with
-# coverage (cover subsumes plain `test`), race tests, and a benchmark
-# comparison against the committed baselines (warn-only unless
-# BENCH_STRICT=1).
-ci: build vet fmt-check lint-logs cover race bench-check
+# coverage (cover subsumes plain `test`), race tests, and benchmark
+# comparisons — kernel benchmarks plus a short serve-latency smoke run —
+# against the committed baselines (warn-only unless BENCH_STRICT=1).
+ci: build vet fmt-check lint-logs cover race bench-check bench-serve-check

@@ -19,15 +19,29 @@
 // their scaling. Regressions are always reported; they fail the run
 // (exit 1) only with -strict or BENCH_STRICT=1 in the environment, so CI
 // warns by default and release gates can opt into hard enforcement.
+//
+// Serve-latency reports (cmd/loadgen / `collab bench-serve` output,
+// BENCH_serve.json) are compared separately: pass the fresh report with
+// -serve-new and the committed baseline among the positional files (the
+// two report shapes are distinguished by sniffing — benchmark files are
+// JSON arrays, serve reports JSON objects). An endpoint regresses when its
+// fresh p95 exceeds the baseline p95 by more than -serve-tolerance
+// (default ±50%) AND by at least 1ms absolute (quantiles of
+// sub-millisecond handlers jitter too much for a pure ratio), or when the
+// fresh run saw request errors. An achieved rate below 90% of target is
+// reported as a warning.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/loadgen"
 )
 
 type benchResult struct {
@@ -37,23 +51,37 @@ type benchResult struct {
 }
 
 func main() {
-	newFile := flag.String("new", "", "fresh benchmark results JSON (required)")
+	newFile := flag.String("new", "", "fresh benchmark results JSON")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional slowdown before a benchmark counts as regressed")
+	serveNew := flag.String("serve-new", "", "fresh serve-latency report JSON (loadgen output)")
+	serveTolerance := flag.Float64("serve-tolerance", 0.50, "allowed fractional p95 slowdown per endpoint before the serve path counts as regressed")
 	strict := flag.Bool("strict", false, "exit non-zero on regressions (also enabled by BENCH_STRICT=1)")
 	flag.Parse()
-	if *newFile == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck -new FILE [-tolerance 0.30] [-strict] BASELINE.json ...")
+	if (*newFile == "" && *serveNew == "") || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-new FILE] [-serve-new FILE] [-tolerance 0.30] [-strict] BASELINE.json ...")
 		os.Exit(2)
 	}
 
-	fresh, err := loadResults(*newFile)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcheck:", err)
-		os.Exit(2)
-	}
+	// Partition the positional baselines by shape: arrays are benchmark
+	// results, objects are serve-latency reports.
 	baseline := map[string]benchResult{}
+	var serveBase *loadgen.Report
 	for _, path := range flag.Args() {
-		results, err := loadResults(path)
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		if bytes.HasPrefix(bytes.TrimSpace(blob), []byte("{")) {
+			var report loadgen.Report
+			if err := json.Unmarshal(blob, &report); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+				os.Exit(2)
+			}
+			serveBase = &report
+			continue
+		}
+		results, err := parseResults(path, blob)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchcheck:", err)
 			os.Exit(2)
@@ -61,6 +89,26 @@ func main() {
 		for name, r := range results {
 			baseline[name] = r
 		}
+	}
+
+	var totalRegressed int
+	if *serveNew != "" {
+		n, err := compareServe(*serveNew, serveBase, *serveTolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		totalRegressed += n
+	}
+	if *newFile == "" {
+		finish(totalRegressed, *strict)
+		return
+	}
+
+	fresh, err := loadResults(*newFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
 	}
 
 	names := make([]string, 0, len(fresh))
@@ -118,12 +166,69 @@ func main() {
 		}
 	}
 
+	finish(regressed+totalRegressed, *strict)
+}
+
+// finish applies the shared strict gating to the total regression count.
+func finish(regressed int, strict bool) {
 	if regressed > 0 {
-		if *strict || os.Getenv("BENCH_STRICT") == "1" {
+		if strict || os.Getenv("BENCH_STRICT") == "1" {
 			os.Exit(1)
 		}
 		fmt.Println("benchcheck: warning only (set BENCH_STRICT=1 or -strict to fail on regressions)")
 	}
+}
+
+// compareServe checks a fresh serve-latency report against the committed
+// baseline: per-endpoint p95 within tolerance (with a 1ms absolute floor so
+// sub-millisecond jitter never trips it), zero request errors, and achieved
+// rate near target (warning only — machine load legitimately varies).
+func compareServe(freshPath string, base *loadgen.Report, tolerance float64) (int, error) {
+	blob, err := os.ReadFile(freshPath)
+	if err != nil {
+		return 0, err
+	}
+	var fresh loadgen.Report
+	if err := json.Unmarshal(blob, &fresh); err != nil {
+		return 0, fmt.Errorf("%s: %w", freshPath, err)
+	}
+	if base == nil {
+		return 0, fmt.Errorf("-serve-new given but no serve baseline (JSON object) among the positional files")
+	}
+
+	const absFloorMs = 1.0
+	baseByEndpoint := map[string]loadgen.EndpointReport{}
+	for _, e := range base.Endpoints {
+		baseByEndpoint[e.Endpoint] = e
+	}
+	var regressed int
+	for _, e := range fresh.Endpoints {
+		if e.Errors > 0 {
+			regressed++
+			fmt.Printf("SERVE REGRESSED %-12s %d/%d requests errored\n", e.Endpoint, e.Errors, e.Count)
+		}
+		b, ok := baseByEndpoint[e.Endpoint]
+		if !ok || b.P95Ms <= 0 {
+			fmt.Printf("serve     %-12s p95 %.2fms (no baseline)\n", e.Endpoint, e.P95Ms)
+			continue
+		}
+		ratio := e.P95Ms / b.P95Ms
+		if ratio > 1+tolerance && e.P95Ms-b.P95Ms > absFloorMs {
+			regressed++
+			fmt.Printf("SERVE REGRESSED %-12s p95 %.2fms -> %.2fms (%.2fx, tolerance %.2fx)\n",
+				e.Endpoint, b.P95Ms, e.P95Ms, ratio, 1+tolerance)
+		} else {
+			fmt.Printf("serve     %-12s p95 %.2fms -> %.2fms (%.2fx)\n",
+				e.Endpoint, b.P95Ms, e.P95Ms, ratio)
+		}
+	}
+	if fresh.TargetRPS > 0 && fresh.AchievedRPS < 0.9*fresh.TargetRPS {
+		fmt.Printf("serve     WARNING achieved %.1f rps below 90%% of target %.1f rps (overloaded machine or saturated server)\n",
+			fresh.AchievedRPS, fresh.TargetRPS)
+	}
+	fmt.Printf("benchcheck: serve %d endpoints compared, %d regressed (tolerance ±%.0f%%, floor %.0fms)\n",
+		len(fresh.Endpoints), regressed, tolerance*100, absFloorMs)
+	return regressed, nil
 }
 
 // loadResults reads one results file into a map keyed by normalized name.
@@ -132,6 +237,11 @@ func loadResults(path string) (map[string]benchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseResults(path, blob)
+}
+
+// parseResults decodes an array-shaped benchmark results file.
+func parseResults(path string, blob []byte) (map[string]benchResult, error) {
 	var results []benchResult
 	if err := json.Unmarshal(blob, &results); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)

@@ -13,11 +13,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"strings"
 	"time"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/data"
 	"repro/internal/graph"
+	"repro/internal/loadgen"
 	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/remote"
@@ -56,6 +59,10 @@ func main() {
 		err = runOpenML(args)
 	case "run":
 		err = runSpec(args)
+	case "requests":
+		err = runRequests(args)
+	case "bench-serve":
+		err = runBenchServe(args)
 	default:
 		usage()
 	}
@@ -66,13 +73,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: collab <stats|explain|calibration|kaggle|openml|run> [flags]
+	fmt.Fprintln(os.Stderr, `usage: collab <stats|explain|calibration|requests|bench-serve|kaggle|openml|run> [flags]
   stats   -server URL                              show server EG/store state
   explain -server URL [-format json|text|dot]      show the optimizer's last
           [-kind optimize|update] [-target plan|eg] decision trail
   calibration -server URL [-json]                  show predicted-vs-measured
           [-fit TIER [-o FILE]]                    cost calibration; -fit writes
                                                    a refitted profile as JSON
+  requests -server URL [-route R] [-min D]         show the server's recent
+          [-limit N] [-json]                       request flight log
+  bench-serve [-server URL] -mix M -rps R          open-loop load harness;
+          [-duration D] [-warmup D] [-o FILE]      empty -server = in-process
   kaggle  -server URL -workload N [-repeat K]      run a Table-1 workload
   openml  -server URL -n N [-warmstart]            run OpenML-style pipelines
   run     -server URL -spec wl.json [-dot out.dot] run a declarative workload
@@ -229,6 +240,9 @@ func runStats(args []string) error {
 	if err != nil {
 		return err
 	}
+	if st.Version != "" {
+		fmt.Printf("server: %s (%s), up %.0fs\n", st.Version, st.GoVersion, st.UptimeSeconds)
+	}
 	fmt.Printf("experiment graph: %d vertices, %d materialized\n", st.Vertices, st.Materialized)
 	fmt.Printf("store: %.2f MB physical (%.2f MB logical)\n",
 		float64(st.PhysicalBytes)/(1<<20), float64(st.LogicalBytes)/(1<<20))
@@ -344,6 +358,119 @@ func runCalibration(args []string) error {
 	}
 	_, err = os.Stdout.Write(body)
 	return err
+}
+
+// runRequests fetches the server's request flight log (GET /v1/requests)
+// and prints one line per recent request, or the raw JSON with -json.
+func runRequests(args []string) error {
+	fs := flag.NewFlagSet("requests", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:7171", "collabd URL")
+	route := fs.String("route", "", "only requests to this route (e.g. /v1/optimize)")
+	min := fs.String("min", "", "only requests at least this slow (e.g. 50ms)")
+	limit := fs.Int("limit", 0, "only the most recent N matches (0 = all)")
+	asJSON := fs.Bool("json", false, "print the raw JSON instead of the table")
+	_ = fs.Parse(args)
+
+	q := url.Values{}
+	if *route != "" {
+		q.Set("route", *route)
+	}
+	if *min != "" {
+		q.Set("min", *min)
+	}
+	if *limit > 0 {
+		q.Set("limit", fmt.Sprint(*limit))
+	}
+	u := *server + "/v1/requests"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("requests: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if *asJSON {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	var export struct {
+		Count    int                  `json:"count"`
+		Requests []obs.RequestSummary `json:"requests"`
+	}
+	if err := json.Unmarshal(body, &export); err != nil {
+		return err
+	}
+	fmt.Printf("%d request(s)\n", export.Count)
+	for _, s := range export.Requests {
+		line := fmt.Sprintf("#%-5d %s %-6s %-15s %3d %8.2fms in=%-6d out=%-6d",
+			s.Seq, s.RequestID, s.Method, s.Route, s.Status,
+			float64(s.WallNanos)/float64(time.Millisecond), s.BytesIn, s.BytesOut)
+		if s.Vertices > 0 {
+			line += fmt.Sprintf("  vertices=%d reuse=%d computes=%d warmstarts=%d plan=%.2fms",
+				s.Vertices, s.Reused, s.Computes, s.Warmstarts,
+				float64(s.PlanNanos)/float64(time.Millisecond))
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// runBenchServe is the open-loop load harness (same engine as cmd/loadgen):
+// it drives a server — in-process when -server is empty — with a seeded
+// request mix and writes the per-endpoint latency scoreboard.
+func runBenchServe(args []string) error {
+	fs := flag.NewFlagSet("bench-serve", flag.ExitOnError)
+	server := fs.String("server", "", "collabd URL; empty runs against an in-process server")
+	mix := fs.String("mix", "mixed", "workload mix: "+strings.Join(loadgen.MixNames(), "|"))
+	rps := fs.Float64("rps", 50, "target requests per second (open-loop schedule)")
+	duration := fs.Duration("duration", 10*time.Second, "measured phase length")
+	warmup := fs.Duration("warmup", 2*time.Second, "warmup phase length (sent, not measured)")
+	seed := fs.Int64("seed", 42, "PRNG seed for the op sequence and dataset")
+	rows := fs.Int("rows", 200, "rows in the seeded pipeline's dataset")
+	out := fs.String("o", "", "also write the JSON report to this file")
+	_ = fs.Parse(args)
+
+	report, err := loadgen.Run(loadgen.Config{
+		ServerURL: *server,
+		Mix:       *mix,
+		TargetRPS: *rps,
+		Warmup:    *warmup,
+		Duration:  *duration,
+		Seed:      *seed,
+		Rows:      *rows,
+	})
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	fmt.Printf("mix=%s target=%.1f rps achieved=%.1f rps total=%d errors=%d\n",
+		report.Mix, report.TargetRPS, report.AchievedRPS, report.Total, report.Errors)
+	for _, e := range report.Endpoints {
+		fmt.Printf("  %-9s n=%-5d err=%-3d p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+			e.Endpoint, e.Count, e.Errors, e.P50Ms, e.P95Ms, e.P99Ms, e.MaxMs)
+	}
+	return nil
 }
 
 func runKaggle(args []string) error {

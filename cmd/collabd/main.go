@@ -14,10 +14,14 @@
 // next boot, so a restart serves them without recomputation. The EG
 // snapshot defaults into the same directory when -data-dir is unset.
 //
-// Prometheus-style metrics are always served at /metrics; -trace N keeps a
-// rolling buffer of server spans exported at /v1/trace as Chrome trace JSON;
-// -explain N keeps the last N optimizer decision records exported at
-// /v1/explain; -pprof mounts net/http/pprof under /debug/pprof/.
+// Prometheus-style metrics are always served at /metrics (including
+// per-route request histograms, counters, and inflight gauges), liveness at
+// /healthz, and readiness at /readyz; -trace N keeps a rolling buffer of
+// server spans exported at /v1/trace as Chrome trace JSON; -explain N keeps
+// the last N optimizer decision records exported at /v1/explain;
+// -requests N keeps a flight recorder of the last N request summaries
+// exported at /v1/requests (`collab requests`); -slow-request D warns on
+// requests slower than D; -pprof mounts net/http/pprof under /debug/pprof/.
 //
 // -profile-file loads the cost profile from a JSON file — typically one
 // refitted from measurements by `collab calibration -fit TIER` — instead
@@ -70,6 +74,8 @@ func main() {
 		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "periodic save interval when -data-dir is set")
 		traceCap   = flag.Int("trace", 0, "buffer up to N server trace events for GET /v1/trace (0: tracing off)")
 		explainCap = flag.Int("explain", 16, "keep the last N optimizer decision records for GET /v1/explain (0: explain off)")
+		requestCap = flag.Int("requests", obs.DefaultFlightCap, "keep the last N request summaries for GET /v1/requests (0: flight recorder off)")
+		slowWarn   = flag.Duration("slow-request", time.Second, "log a warning for requests slower than this (0: off)")
 		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		logLevel   = flag.String("log-level", "info", "log level: debug|info|warn|error")
 	)
@@ -129,6 +135,11 @@ func main() {
 	}
 	if *explainCap > 0 {
 		srvOpts = append(srvOpts, core.WithExplain(explain.NewRecorder(*explainCap)))
+	}
+	if *requestCap > 0 {
+		srvOpts = append(srvOpts, core.WithFlightRecorder(obs.NewFlightRecorder(*requestCap)))
+	} else {
+		srvOpts = append(srvOpts, core.WithFlightRecorder(nil))
 	}
 	stOpts := store.Options{MemoryBudget: *memBudget, DiskBudget: *diskBudget}
 	if *storeDir != "" {
@@ -205,9 +216,10 @@ func main() {
 		"profile", prof.Name)
 	logger.Info("debug surfaces", "metrics", "/metrics",
 		"trace", traceState(*traceCap), "explain", explainState(*explainCap),
-		"pprof", *pprofOn)
+		"requests", requestState(*requestCap), "pprof", *pprofOn)
 	handler := remote.NewHandler(srv,
 		remote.WithHandlerLogger(logger),
+		remote.WithSlowRequestWarn(*slowWarn),
 		remote.WithPprof(*pprofOn))
 	if err := http.ListenAndServe(*addr, handler); err != nil {
 		logger.Error("server exited", "err", err)
@@ -227,6 +239,13 @@ func explainState(cap int) string {
 		return fmt.Sprintf("on (last %d records, GET /v1/explain)", cap)
 	}
 	return "off (-explain N to enable)"
+}
+
+func requestState(cap int) string {
+	if cap > 0 {
+		return fmt.Sprintf("on (last %d summaries, GET /v1/requests)", cap)
+	}
+	return "off (-requests N to enable)"
 }
 
 func logLevelByName(name string) (slog.Level, error) {

@@ -1,0 +1,78 @@
+// Command loadgen is the open-loop load harness for the serving path (also
+// reachable as `collab bench-serve`). It fires a deterministic, seeded mix
+// of optimize/update/artifact/stats requests at a fixed target rate —
+// against a running collabd, or against an in-process server when -server
+// is empty — and writes the per-endpoint latency scoreboard as JSON
+// (BENCH_serve.json by convention, compared across commits by
+// cmd/benchcheck).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	server := fs.String("server", "", "collabd URL; empty runs against an in-process server")
+	mix := fs.String("mix", "mixed", "workload mix: "+strings.Join(loadgen.MixNames(), "|"))
+	rps := fs.Float64("rps", 50, "target requests per second (open-loop schedule)")
+	duration := fs.Duration("duration", 10*time.Second, "measured phase length")
+	warmup := fs.Duration("warmup", 2*time.Second, "warmup phase length (sent, not measured)")
+	seed := fs.Int64("seed", 42, "PRNG seed for the op sequence and dataset")
+	rows := fs.Int("rows", 200, "rows in the seeded pipeline's dataset")
+	out := fs.String("o", "BENCH_serve.json", "output report path; - for stdout")
+	_ = fs.Parse(os.Args[1:])
+
+	report, err := loadgen.Run(loadgen.Config{
+		ServerURL: *server,
+		Mix:       *mix,
+		TargetRPS: *rps,
+		Warmup:    *warmup,
+		Duration:  *duration,
+		Seed:      *seed,
+		Rows:      *rows,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	if err := writeReport(report, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	printSummary(report)
+}
+
+func writeReport(report *loadgen.Report, path string) error {
+	if path == "-" {
+		return report.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func printSummary(report *loadgen.Report) {
+	fmt.Printf("mix=%s target=%.1f rps achieved=%.1f rps total=%d errors=%d\n",
+		report.Mix, report.TargetRPS, report.AchievedRPS, report.Total, report.Errors)
+	for _, e := range report.Endpoints {
+		fmt.Printf("  %-9s n=%-5d err=%-3d p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+			e.Endpoint, e.Count, e.Errors, e.P50Ms, e.P95Ms, e.P99Ms, e.MaxMs)
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"log/slog"
 	"sync"
 	"time"
@@ -64,6 +65,18 @@ type Server struct {
 	// until the matching update arrives and folds them into the scorecard.
 	// Bounded: an update never arriving must not leak memory.
 	pendingRuns map[string]calib.ClientRun
+
+	// flight is the request flight recorder: optimize/update annotate the
+	// in-flight request here and the HTTP middleware records the finished
+	// summary, served at /v1/requests. Default-on with a small ring;
+	// WithFlightRecorder(nil) disables it (nil is a zero-cost no-op).
+	flight    *obs.FlightRecorder
+	flightSet bool
+	// started anchors collab_uptime_seconds; version/goVersion back the
+	// collab_build_info metric and /v1/stats.
+	started   obs.Stopwatch
+	version   string
+	goVersion string
 }
 
 // maxPendingRuns bounds the run-summary buffer; beyond it the oldest
@@ -174,6 +187,13 @@ func WithLogger(l *slog.Logger) ServerOption {
 	return func(srv *Server) { srv.log = l }
 }
 
+// WithFlightRecorder replaces the default request flight recorder (a
+// DefaultFlightCap-entry ring). Pass a larger ring to keep more history,
+// or nil to disable recording entirely.
+func WithFlightRecorder(f *obs.FlightRecorder) ServerOption {
+	return func(srv *Server) { srv.flight = f; srv.flightSet = true }
+}
+
 // NewServer builds a server around the given store.
 func NewServer(st *store.Manager, opts ...ServerOption) *Server {
 	srv := &Server{
@@ -182,12 +202,17 @@ func NewServer(st *store.Manager, opts ...ServerOption) *Server {
 		budget:      1 << 30,
 		calib:       calib.NewCollector(),
 		pendingRuns: make(map[string]calib.ClientRun),
+		started:     obs.StartTimer(),
 	}
+	srv.version, srv.goVersion = obs.BuildInfo()
 	cfg := materialize.Config{Alpha: 0.5, Profile: st.Profile()}
 	srv.strategy = materialize.NewStorageAware(cfg)
 	srv.planner = reuse.Linear{}
 	for _, o := range opts {
 		o(srv)
+	}
+	if !srv.flightSet {
+		srv.flight = obs.NewFlightRecorder(0)
 	}
 	srv.initMetrics()
 	return srv
@@ -245,6 +270,19 @@ func (s *Server) initMetrics() {
 	// runtime health, both scrape-backed.
 	calib.RegisterMetrics(reg, s.calib)
 	obs.NewRuntimeCollector().Register(reg)
+	// Build identity and uptime: an info-gauge (constant 1, facts in the
+	// labels, the Prometheus convention) plus a scrape-time uptime gauge.
+	reg.Gauge(obs.Labeled("collab_build_info", "version", s.version, "go_version", s.goVersion),
+		"build identity of this server (constant 1; facts travel in the labels)").Set(1)
+	reg.GaugeFunc("collab_uptime_seconds", "seconds since this server was constructed",
+		func() float64 { return s.UptimeSeconds() })
+	// Flight-recorder health: ring occupancy and capacity.
+	if s.flight != nil {
+		reg.GaugeFunc("collab_flight_requests", "request summaries retained by the flight recorder",
+			func() float64 { return float64(s.flight.Len()) })
+		reg.GaugeFunc("collab_flight_capacity", "flight recorder ring capacity",
+			func() float64 { return float64(s.flight.Cap()) })
+	}
 	// Trace-recorder health: without these gauges, drops are only visible
 	// inside the exported trace JSON.
 	if s.trace != nil {
@@ -272,6 +310,30 @@ func (s *Server) Explain() *explain.Recorder { return s.explain }
 // Calibration returns the server's calibration collector (always
 // non-nil), backing /v1/calibration and the collab_calib_* metrics.
 func (s *Server) Calibration() *calib.Collector { return s.calib }
+
+// Flight returns the request flight recorder backing /v1/requests, or nil
+// when recording is disabled.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// UptimeSeconds reports how long ago this server was constructed.
+func (s *Server) UptimeSeconds() float64 { return s.started.Elapsed().Seconds() }
+
+// BuildInfo reports the module version and Go toolchain baked into the
+// binary, mirrored on the collab_build_info metric and /v1/stats.
+func (s *Server) BuildInfo() (version, goVersion string) { return s.version, s.goVersion }
+
+// Ready reports whether the server can serve traffic: the artifact store
+// must be attached and its cost profile loaded. The HTTP layer's /readyz
+// endpoint surfaces the error text on 503 responses.
+func (s *Server) Ready() error {
+	if s.Store == nil {
+		return errors.New("artifact store not attached")
+	}
+	if s.Store.Profile().BytesPerSecond <= 0 {
+		return errors.New("cost profile not loaded (zero bandwidth)")
+	}
+	return nil
+}
 
 // ReportRun implements RunReporter: it buffers the client's run summary
 // until the matching UpdateReq folds it into that request's scorecard.
@@ -392,6 +454,15 @@ func (s *Server) OptimizeReq(w *graph.DAG, requestID string) *Optimization {
 	m.planPrunedCost.Add(int64(plan.Stats.PrunedByCost))
 	m.planPrunedNoMat.Add(int64(plan.Stats.PrunedNotMaterialized))
 	m.warmstartsFound.Add(int64(len(ws)))
+	if s.flight != nil && requestID != "" {
+		s.flight.Annotate(requestID, obs.RequestAnnotation{
+			Vertices:   w.Len(),
+			Reused:     len(plan.Reuse),
+			Computes:   plan.Stats.Computes,
+			Warmstarts: len(ws),
+			PlanNanos:  overhead.Nanoseconds(),
+		})
+	}
 	if s.explain != nil {
 		s.explain.Add(explain.BuildOptimize(w, costs, plan, s.planner.Name(), requestID, ws))
 	}
@@ -434,6 +505,7 @@ func (s *Server) UpdateReq(executed *graph.DAG, requestID string) {
 	// Calibration reads EG predictions, so it must run before Merge
 	// refreshes them with this run's measurements.
 	sc := s.observeExecutionLocked(executed, requestID)
+	s.annotateUpdateLocked(executed, requestID)
 
 	s.EG.Merge(executed)
 
@@ -489,6 +561,7 @@ func (s *Server) UpdateMetaReq(executed *graph.DAG, requestID string) (want []st
 	// Calibration reads EG predictions, so it must run before Merge
 	// refreshes them with this run's measurements.
 	sc := s.observeExecutionLocked(executed, requestID)
+	s.annotateUpdateLocked(executed, requestID)
 
 	s.EG.Merge(executed)
 	touched := make([]string, 0, executed.Len())
@@ -577,6 +650,24 @@ func (s *Server) observeExecutionLocked(executed *graph.DAG, requestID string) *
 	}
 	s.calib.RecordScorecard(sc)
 	return &sc
+}
+
+// annotateUpdateLocked contributes the executed DAG's shape to the flight
+// recorder entry of the in-flight update request. The optimize phase of
+// the same run recorded its own summary already (separate HTTP request),
+// so this annotation only carries what the update knows: how many
+// vertices merged and how many the client actually loaded from EG.
+func (s *Server) annotateUpdateLocked(executed *graph.DAG, requestID string) {
+	if s.flight == nil || requestID == "" {
+		return
+	}
+	reused := 0
+	for _, n := range executed.Nodes() {
+		if n.LoadedFromEG {
+			reused++
+		}
+	}
+	s.flight.Annotate(requestID, obs.RequestAnnotation{Vertices: executed.Len(), Reused: reused})
 }
 
 // PutArtifact stores uploaded content for a vertex and marks it

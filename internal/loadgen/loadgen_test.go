@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestOpSequenceDeterministic(t *testing.T) {
+	a := opSequence(Mixes["mixed"], 200, 7, true)
+	b := opSequence(Mixes["mixed"], 200, 7, true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverges at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// A different seed must give a different stream (astronomically likely).
+	c := opSequence(Mixes["mixed"], 200, 8, true)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+	// Heavy op dominates its mix.
+	counts := map[string]int{}
+	for _, op := range opSequence(Mixes["optimize-heavy"], 1000, 1, true) {
+		counts[op]++
+	}
+	if counts["optimize"] < counts["update"] || counts["optimize"] < counts["stats"] {
+		t.Fatalf("optimize-heavy mix not optimize-dominated: %v", counts)
+	}
+}
+
+func TestOpSequenceDegradesArtifactOps(t *testing.T) {
+	for _, op := range opSequence(Mixes["artifact-fetch"], 500, 3, false) {
+		if op == "artifact" {
+			t.Fatal("artifact op emitted with no artifacts available")
+		}
+	}
+}
+
+// TestRunSmoke drives a short, low-rate run against an in-process server —
+// the same path `make bench-serve` exercises — and sanity-checks the
+// scoreboard shape.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke test sleeps for the schedule; skipped in -short")
+	}
+	report, err := Run(Config{
+		Mix:       "mixed",
+		TargetRPS: 25,
+		Warmup:    200 * time.Millisecond,
+		Duration:  1 * time.Second,
+		Seed:      42,
+		Rows:      120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("load run had %d errors", report.Errors)
+	}
+	if report.Total == 0 {
+		t.Fatal("no measured requests")
+	}
+	if report.AchievedRPS <= 0 {
+		t.Fatal("achieved RPS not computed")
+	}
+	if len(report.Endpoints) == 0 {
+		t.Fatal("no endpoint reports")
+	}
+	for _, e := range report.Endpoints {
+		if e.Count == 0 {
+			t.Errorf("endpoint %s reported with zero count", e.Endpoint)
+		}
+		if e.P95Ms < e.P50Ms || e.MaxMs < e.P95Ms {
+			t.Errorf("endpoint %s quantiles not ordered: %+v", e.Endpoint, e)
+		}
+	}
+
+	// The JSON report round-trips with the documented keys.
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"mix", "target_rps", "achieved_rps", "total", "errors", "endpoints"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("report JSON missing key %q", key)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Mix: "nope", TargetRPS: 1, Duration: time.Second}); err == nil {
+		t.Error("unknown mix should error")
+	}
+	if _, err := Run(Config{Mix: "mixed", TargetRPS: 0, Duration: time.Second}); err == nil {
+		t.Error("zero RPS should error")
+	}
+	if _, err := Run(Config{Mix: "mixed", TargetRPS: 1}); err == nil {
+		t.Error("zero duration should error")
+	}
+}

@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo reports the main module's version and the Go toolchain that
+// built the binary, for the collab_build_info metric and /v1/stats.
+// Version is "unknown" when the binary was built outside module mode and
+// "(devel)" for an uninstalled working-tree build — both still useful to
+// tell apart deployed releases on a dashboard.
+func BuildInfo() (version, goVersion string) {
+	version = "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return version, runtime.Version()
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// RequestSummary is one completed request as retained by the flight
+// recorder: transport facts filled by the HTTP middleware plus optimizer
+// enrichment contributed by the optimize/update paths. Field order is the
+// JSON contract — WriteJSON output is byte-stable for a fixed ring state,
+// and a golden test pins it.
+type RequestSummary struct {
+	Seq       int64  `json:"seq"`
+	RequestID string `json:"request_id"`
+	Method    string `json:"method"`
+	Route     string `json:"route"`
+	Status    int    `json:"status"`
+	// StartUnixNano is the arrival wall-clock time; WallNanos the
+	// end-to-end handling time (integer nanoseconds keep the JSON exact).
+	StartUnixNano int64 `json:"start_unix_nano"`
+	WallNanos     int64 `json:"wall_ns"`
+	BytesIn       int64 `json:"bytes_in"`
+	BytesOut      int64 `json:"bytes_out"`
+	// Optimizer enrichment, populated via Annotate by the optimize and
+	// update paths; all zero for plain transport requests.
+	Vertices   int   `json:"vertices,omitempty"`
+	Reused     int   `json:"reuse,omitempty"`
+	Computes   int   `json:"computes,omitempty"`
+	Warmstarts int   `json:"warmstarts,omitempty"`
+	PlanNanos  int64 `json:"plan_ns,omitempty"`
+}
+
+// RequestAnnotation is the optimizer's contribution to a request summary,
+// keyed by request ID until the middleware records the finished request.
+type RequestAnnotation struct {
+	Vertices   int
+	Reused     int
+	Computes   int
+	Warmstarts int
+	PlanNanos  int64
+}
+
+// RequestFilter selects summaries from the flight recorder. The zero
+// value selects everything.
+type RequestFilter struct {
+	// Route keeps only summaries with this exact route ("" keeps all).
+	Route string
+	// MinWall keeps only summaries at least this slow.
+	MinWall time.Duration
+	// Limit keeps only the most recent N matches (0 keeps all). Output
+	// order stays oldest-first regardless.
+	Limit int
+}
+
+// FlightRecorder is a bounded, race-safe ring of recent request
+// summaries — the serving tier's black box. The middleware records one
+// summary per finished request; the optimize/update paths enrich the
+// in-flight request via Annotate. A nil recorder records nothing and
+// serves empty snapshots, so callers hold it without guards.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	capN int
+	seq  int64
+	buf  []RequestSummary // ring storage, len == capN once full
+	next int              // slot the next summary lands in
+	full bool
+	// pending holds annotations for requests still in flight, popped by
+	// Record. Bounded: an annotation whose request never finishes (client
+	// gone mid-handler) must not leak.
+	pending map[string]RequestAnnotation
+}
+
+// DefaultFlightCap bounds a NewFlightRecorder(0) ring.
+const DefaultFlightCap = 256
+
+// maxPendingAnnotations bounds the in-flight annotation buffer; beyond it
+// the buffer is dropped wholesale (annotations for abandoned requests are
+// worthless, and inflight requests re-annotate on their next phase).
+const maxPendingAnnotations = 512
+
+// NewFlightRecorder returns a recorder retaining the last n summaries
+// (n <= 0 selects DefaultFlightCap).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightCap
+	}
+	return &FlightRecorder{capN: n, pending: make(map[string]RequestAnnotation)}
+}
+
+// Enabled reports whether the recorder is non-nil.
+func (f *FlightRecorder) Enabled() bool { return f != nil }
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return f.capN
+}
+
+// Len returns the number of retained summaries.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.full {
+		return f.capN
+	}
+	return f.next
+}
+
+// Annotate attaches optimizer facts to the in-flight request with the
+// given ID; Record merges and clears them when the request finishes.
+// Empty IDs are ignored (nothing to correlate against).
+func (f *FlightRecorder) Annotate(requestID string, ann RequestAnnotation) {
+	if f == nil || requestID == "" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.pending) >= maxPendingAnnotations {
+		clear(f.pending)
+	}
+	f.pending[requestID] = ann
+}
+
+// Record stamps the summary's sequence number, merges any pending
+// annotation for its request ID, and appends it to the ring (evicting the
+// oldest entry once full).
+func (f *FlightRecorder) Record(s RequestSummary) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ann, ok := f.pending[s.RequestID]; ok {
+		delete(f.pending, s.RequestID)
+		s.Vertices = ann.Vertices
+		s.Reused = ann.Reused
+		s.Computes = ann.Computes
+		s.Warmstarts = ann.Warmstarts
+		s.PlanNanos = ann.PlanNanos
+	}
+	f.seq++
+	s.Seq = f.seq
+	if f.buf == nil {
+		f.buf = make([]RequestSummary, 0, f.capN)
+	}
+	if !f.full {
+		f.buf = append(f.buf, s)
+		f.next++
+		if f.next == f.capN {
+			f.full, f.next = true, 0
+		}
+		return
+	}
+	f.buf[f.next] = s
+	f.next++
+	if f.next == f.capN {
+		f.next = 0
+	}
+}
+
+// Snapshot returns the retained summaries matching the filter, oldest
+// first. The result is a copy — safe to hold across further recording.
+func (f *FlightRecorder) Snapshot(filter RequestFilter) []RequestSummary {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ordered := make([]RequestSummary, 0, len(f.buf))
+	if f.full {
+		ordered = append(ordered, f.buf[f.next:]...)
+		ordered = append(ordered, f.buf[:f.next]...)
+	} else {
+		ordered = append(ordered, f.buf[:f.next]...)
+	}
+	matched := ordered[:0]
+	for _, s := range ordered {
+		if filter.Route != "" && s.Route != filter.Route {
+			continue
+		}
+		if filter.MinWall > 0 && s.WallNanos < filter.MinWall.Nanoseconds() {
+			continue
+		}
+		matched = append(matched, s)
+	}
+	if filter.Limit > 0 && len(matched) > filter.Limit {
+		matched = matched[len(matched)-filter.Limit:]
+	}
+	return matched
+}
+
+// flightExport is the JSON envelope of WriteJSON / GET /v1/requests.
+type flightExport struct {
+	Count    int              `json:"count"`
+	Requests []RequestSummary `json:"requests"`
+}
+
+// WriteJSON renders the filtered snapshot as byte-stable JSON: an object
+// with the match count and the summaries oldest-first.
+func (f *FlightRecorder) WriteJSON(w io.Writer, filter RequestFilter) error {
+	reqs := f.Snapshot(filter)
+	if reqs == nil {
+		reqs = []RequestSummary{}
+	}
+	blob, err := json.MarshalIndent(flightExport{Count: len(reqs), Requests: reqs}, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	_, err = w.Write(blob)
+	return err
+}

@@ -157,7 +157,9 @@ const (
 )
 
 type metric struct {
-	name string
+	name string // full registration name, possibly with a {label} block
+	base string // family name without the label block
+	lbls string // label pairs without braces ("" when unlabeled)
 	help string
 	kind metricKind
 
@@ -168,7 +170,9 @@ type metric struct {
 }
 
 // Registry holds named metrics and renders them in Prometheus text
-// exposition format. Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*.
+// exposition format. Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* and
+// may carry a label block built by Labeled — members of one labeled
+// family share a base name and render under a single HELP/TYPE header.
 // Registering a name twice returns the existing instrument when the kinds
 // agree and panics otherwise (a programming error, like Prometheus).
 type Registry struct {
@@ -200,8 +204,72 @@ func validName(name string) bool {
 	return true
 }
 
+// Labeled builds a registration name carrying a Prometheus label block:
+// Labeled("x_total", "route", "/v1/optimize") → `x_total{route="/v1/optimize"}`.
+// Values are escaped per the exposition format; keys must be valid label
+// names. Pairs render in the order given, so callers must pass them in a
+// fixed order for byte-stable output.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: Labeled(%q) needs key/value pairs, got %d args", name, len(kv)))
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if !validName(kv[i]) || strings.ContainsRune(kv[i], ':') {
+			panic(fmt.Sprintf("obs: invalid label name %q", kv[i]))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the text exposition format:
+// backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitLabels separates a registration name into its family base name and
+// the label pairs (without braces). Unlabeled names return lbls == "".
+func splitLabels(name string) (base, lbls string, ok bool) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, "", true
+	}
+	if !strings.HasSuffix(name, "}") || i+2 >= len(name) {
+		return "", "", false
+	}
+	return name[:i], name[i+1 : len(name)-1], true
+}
+
 func (r *Registry) register(name, help string, kind metricKind) *metric {
-	if !validName(name) {
+	base, lbls, ok := splitLabels(name)
+	if !ok || !validName(base) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
 	r.mu.Lock()
@@ -212,7 +280,7 @@ func (r *Registry) register(name, help string, kind metricKind) *metric {
 		}
 		return m
 	}
-	m := &metric{name: name, help: help, kind: kind}
+	m := &metric{name: name, base: base, lbls: lbls, help: help, kind: kind}
 	r.byName[name] = m
 	r.ordered = append(r.ordered, m)
 	return m
@@ -284,42 +352,77 @@ func fmtFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WritePrometheus renders every metric in text exposition format, sorted by
-// name so output is byte-stable for a fixed state.
+// WritePrometheus renders every metric in text exposition format, sorted
+// by family base name then label block so output is byte-stable for a
+// fixed state. Labeled members of one family share a single HELP/TYPE
+// header (the first registered member's help wins).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	ms := make([]*metric, len(r.ordered))
 	copy(ms, r.ordered)
 	r.mu.Unlock()
-	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].base != ms[j].base {
+			return ms[i].base < ms[j].base
+		}
+		return ms[i].lbls < ms[j].lbls
+	})
 
 	var b strings.Builder
+	prevBase := ""
 	for _, m := range ms {
-		if m.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " "))
+		if m.base != prevBase {
+			prevBase = m.base
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.base, strings.ReplaceAll(m.help, "\n", " "))
+			}
+			kind := "counter"
+			switch m.kind {
+			case kindGauge, kindGaugeFunc:
+				kind = "gauge"
+			case kindHistogram:
+				kind = "histogram"
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.base, kind)
 		}
 		switch m.kind {
 		case kindCounter:
-			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value())
+			fmt.Fprintf(&b, "%s %d\n", sampleName(m.base, m.lbls), m.counter.Value())
 		case kindGauge:
-			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", m.name, m.name, fmtFloat(m.gauge.Value()))
+			fmt.Fprintf(&b, "%s %s\n", sampleName(m.base, m.lbls), fmtFloat(m.gauge.Value()))
 		case kindGaugeFunc:
-			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", m.name, m.name, fmtFloat(m.fn()))
+			fmt.Fprintf(&b, "%s %s\n", sampleName(m.base, m.lbls), fmtFloat(m.fn()))
 		case kindHistogram:
-			fmt.Fprintf(&b, "# TYPE %s histogram\n", m.name)
 			var cum int64
 			for i, ub := range m.hist.uppers {
 				cum += m.hist.counts[i].Load()
-				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, fmtFloat(ub), cum)
+				fmt.Fprintf(&b, "%s %d\n", bucketName(m.base, m.lbls, fmtFloat(ub)), cum)
 			}
 			cum += m.hist.inf.Load()
-			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
-			fmt.Fprintf(&b, "%s_sum %s\n", m.name, fmtFloat(m.hist.Sum()))
-			fmt.Fprintf(&b, "%s_count %d\n", m.name, cum)
+			fmt.Fprintf(&b, "%s %d\n", bucketName(m.base, m.lbls, "+Inf"), cum)
+			fmt.Fprintf(&b, "%s %s\n", sampleName(m.base+"_sum", m.lbls), fmtFloat(m.hist.Sum()))
+			fmt.Fprintf(&b, "%s %d\n", sampleName(m.base+"_count", m.lbls), cum)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// sampleName renders a sample line's name with its optional label block.
+func sampleName(base, lbls string) string {
+	if lbls == "" {
+		return base
+	}
+	return base + "{" + lbls + "}"
+}
+
+// bucketName renders a histogram bucket name, merging the family labels
+// with the le bound.
+func bucketName(base, lbls, le string) string {
+	if lbls == "" {
+		return fmt.Sprintf("%s_bucket{le=%q}", base, le)
+	}
+	return fmt.Sprintf("%s_bucket{%s,le=%q}", base, lbls, le)
 }
 
 // Handler returns an http.Handler serving the registry as a Prometheus

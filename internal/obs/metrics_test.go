@@ -150,3 +150,72 @@ func TestInvalidMetricNamePanics(t *testing.T) {
 	}()
 	NewRegistry().Counter("bad name", "")
 }
+
+func TestLabeledNameBuilder(t *testing.T) {
+	got := Labeled("http_requests_total", "route", "/v1/optimize", "code", "2xx")
+	want := `http_requests_total{route="/v1/optimize",code="2xx"}`
+	if got != want {
+		t.Errorf("Labeled = %q, want %q", got, want)
+	}
+	esc := Labeled("m", "k", "a\"b\\c\nd")
+	if esc != `m{k="a\"b\\c\nd"}` {
+		t.Errorf("escaping wrong: %q", esc)
+	}
+	for _, bad := range [][]string{{"route"}, {"bad name", "v"}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Labeled(%v) should panic", bad)
+				}
+			}()
+			Labeled("m", bad...)
+		}()
+	}
+}
+
+// TestLabeledFamilyRendering checks that labeled members of one family
+// render under a single HELP/TYPE header, counters and histograms alike,
+// with histogram bucket labels merged with le.
+func TestLabeledFamilyRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled("fam_total", "route", "/a"), "family help").Add(1)
+	r.Counter(Labeled("fam_total", "route", "/b"), "family help").Add(2)
+	h := r.Histogram(Labeled("fam_seconds", "route", "/a"), "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	r.Gauge(Labeled("fam_inflight", "route", "/a"), "inflight").Set(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# TYPE fam_total counter"); n != 1 {
+		t.Errorf("TYPE fam_total appears %d times, want once:\n%s", n, out)
+	}
+	if n := strings.Count(out, "# HELP fam_total "); n != 1 {
+		t.Errorf("HELP fam_total appears %d times, want once:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`fam_total{route="/a"} 1`,
+		`fam_total{route="/b"} 2`,
+		`fam_seconds_bucket{route="/a",le="0.1"} 1`,
+		`fam_seconds_bucket{route="/a",le="+Inf"} 2`,
+		`fam_seconds_sum{route="/a"} 0.55`,
+		`fam_seconds_count{route="/a"} 2`,
+		`fam_inflight{route="/a"} 3`,
+		"# TYPE fam_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Same registration name returns the same instrument (idempotent).
+	if c := r.Counter(Labeled("fam_total", "route", "/a"), ""); c.Value() != 1 {
+		t.Error("re-registering a labeled counter should return the existing instrument")
+	}
+	// Members sort by label block within the family, byte-stably.
+	if strings.Index(out, `fam_total{route="/a"}`) > strings.Index(out, `fam_total{route="/b"}`) {
+		t.Error("family members not sorted by label block")
+	}
+}

@@ -87,3 +87,39 @@ func TestSketchConcurrent(t *testing.T) {
 		t.Fatalf("Count = %d, want 8000", got)
 	}
 }
+
+// TestSketchConcurrentReaders interleaves Observe with Quantile/Count
+// reads — the load harness reads quantiles while request goroutines are
+// still observing, and the -race run is the assertion here.
+func TestSketchConcurrentReaders(t *testing.T) {
+	s := NewSketch(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s.Observe(float64(i%97) / 10)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+					if v := s.Quantile(q); v < 0 || v > 10 {
+						t.Errorf("Quantile(%v) = %v outside observed range", q, v)
+						return
+					}
+				}
+				_ = s.Count()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Count(); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+}

@@ -54,6 +54,9 @@ func NewClient(baseURL string, profile cost.Profile) *Client {
 	}
 }
 
+// BaseURL reports the server address this client targets.
+func (c *Client) BaseURL() string { return c.base }
+
 // Err returns the last transport error, if any, and clears it.
 func (c *Client) Err() error {
 	c.mu.Lock()

@@ -28,6 +28,13 @@ type Handler struct {
 	srv *core.Server
 	mux *http.ServeMux
 	log *slog.Logger
+	// Serving telemetry (middleware.go): per-route metric families, the
+	// flight-recorder feed, and the slow-request warning. instrument
+	// defaults to on; metrics stays nil when it is switched off.
+	instrument bool
+	metrics    *httpMetrics
+	slowWarn   time.Duration
+	readyCheck func() error
 }
 
 // HandlerOption configures the HTTP façade.
@@ -59,7 +66,7 @@ func WithPprof(enabled bool) HandlerOption {
 
 // NewHandler builds the HTTP façade over a server.
 func NewHandler(srv *core.Server, opts ...HandlerOption) *Handler {
-	h := &Handler{srv: srv, mux: http.NewServeMux()}
+	h := &Handler{srv: srv, mux: http.NewServeMux(), instrument: true}
 	h.mux.HandleFunc("POST /v1/optimize", h.optimize)
 	h.mux.HandleFunc("POST /v1/update", h.update)
 	h.mux.HandleFunc("GET /v1/artifact", h.getArtifact)
@@ -69,8 +76,14 @@ func NewHandler(srv *core.Server, opts ...HandlerOption) *Handler {
 	h.mux.Handle("GET /metrics", srv.Metrics().Handler())
 	h.mux.HandleFunc("GET /v1/trace", h.trace)
 	h.mux.HandleFunc("GET /v1/explain", h.explain)
+	h.mux.HandleFunc("GET /v1/requests", h.requests)
+	h.mux.HandleFunc("GET /healthz", h.healthz)
+	h.mux.HandleFunc("GET /readyz", h.readyz)
 	for _, o := range opts {
 		o(h)
+	}
+	if h.instrument {
+		h.metrics = newHTTPMetrics(srv.Metrics())
 	}
 	return h
 }
@@ -84,10 +97,12 @@ func requestID(r *http.Request) string {
 	return id
 }
 
-// statusWriter captures the response status for the access log.
+// statusWriter captures the response status and body size for the access
+// log, the serving metrics, and the flight recorder.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -95,8 +110,16 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
 // ServeHTTP implements http.Handler: it resolves the request ID, echoes it
-// on the response, and logs the request.
+// on the response, and — unless instrumentation is disabled — measures the
+// request into the serving metrics and the flight recorder
+// (serveInstrumented in middleware.go).
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rid := r.Header.Get(obs.RequestIDHeader)
 	if rid == "" {
@@ -104,6 +127,10 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(obs.RequestIDHeader, rid)
 	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+	if h.instrument {
+		h.serveInstrumented(w, r, rid)
+		return
+	}
 	if h.log == nil {
 		h.mux.ServeHTTP(w, r)
 		return
@@ -220,7 +247,9 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		UpdateCount:        h.srv.UpdateCount(),
 		ReusePlanned:       h.srv.ReusePlanned(),
 		WarmstartsProposed: h.srv.WarmstartsProposed(),
+		UptimeSeconds:      h.srv.UptimeSeconds(),
 	}
+	st.Version, st.GoVersion = h.srv.BuildInfo()
 	st.PlanPrunedOffPath, st.PlanPrunedByCost, st.PlanPrunedNotMaterialized = h.srv.PlanPruned()
 	if c := h.srv.Calibration(); c != nil {
 		st.Runs = c.Runs()

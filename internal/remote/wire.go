@@ -149,6 +149,12 @@ type Stats struct {
 	MaxDrift          float64
 	MaxDriftFamily    string
 	LastRun           *calib.Scorecard
+	// Version, GoVersion, and UptimeSeconds identify the serving process:
+	// build identity (mirroring the collab_build_info metric) and how long
+	// it has been up.
+	Version       string
+	GoVersion     string
+	UptimeSeconds float64
 }
 
 // ToWire flattens a workload DAG into wire nodes in topological order.
