@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fmt-check lint-logs bench bench-json bench-store bench-check bench-serve bench-serve-check fuzz cover ci
+.PHONY: build vet test race fmt-check lint-logs bench bench-json bench-store bench-check bench-serve bench-serve-check critpath-smoke fuzz cover ci
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,27 @@ bench-serve-check:
 	@$(GO) run ./cmd/benchcheck -serve-new BENCH_serve_check.json BENCH_serve.json; \
 		status=$$?; rm -f BENCH_serve_check.json; exit $$status
 
+# critpath-smoke checks the critical-path analyzer end-to-end through the
+# CLI: record a Chrome trace from a small local workload, analyze it twice,
+# and require a non-empty, byte-stable report — the determinism contract
+# the golden tests pin, exercised on a fresh trace.
+critpath-smoke:
+	@tmp=$$(mktemp -d); status=1; \
+	if ! $(GO) run ./cmd/collab kaggle -workload 1 \
+		-store-dir $$tmp/store -trace $$tmp/trace.json >/dev/null 2>&1; then \
+		echo "critpath-smoke: traced workload failed"; \
+	elif ! $(GO) run ./cmd/collab critpath -trace $$tmp/trace.json -json > $$tmp/a.json; then \
+		echo "critpath-smoke: analyzer failed"; \
+	elif ! test -s $$tmp/a.json; then \
+		echo "critpath-smoke: empty report"; \
+	elif ! { $(GO) run ./cmd/collab critpath -trace $$tmp/trace.json -json > $$tmp/b.json \
+		&& cmp -s $$tmp/a.json $$tmp/b.json; }; then \
+		echo "critpath-smoke: report not byte-stable across identical runs"; \
+	else \
+		echo "critpath-smoke: OK ($$(wc -c < $$tmp/a.json) bytes, byte-stable)"; status=0; \
+	fi; \
+	rm -rf $$tmp; exit $$status
+
 # fuzz replays the committed seed corpus and explores the on-disk column
 # codec for a short budget (corruption must never decode successfully).
 fuzz:
@@ -106,7 +127,8 @@ cover:
 	$(GO) test -cover ./...
 
 # ci is the tier-1 gate: build, vet, formatting, log hygiene, tests with
-# coverage (cover subsumes plain `test`), race tests, and benchmark
-# comparisons — kernel benchmarks plus a short serve-latency smoke run —
-# against the committed baselines (warn-only unless BENCH_STRICT=1).
-ci: build vet fmt-check lint-logs cover race bench-check bench-serve-check
+# coverage (cover subsumes plain `test`), race tests, the critical-path
+# analyzer smoke, and benchmark comparisons — kernel benchmarks plus a
+# short serve-latency smoke run — against the committed baselines
+# (warn-only unless BENCH_STRICT=1).
+ci: build vet fmt-check lint-logs cover race critpath-smoke bench-check bench-serve-check

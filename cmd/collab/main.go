@@ -61,6 +61,8 @@ func main() {
 		err = runSpec(args)
 	case "requests":
 		err = runRequests(args)
+	case "critpath":
+		err = runCritpath(args)
 	case "bench-serve":
 		err = runBenchServe(args)
 	default:
@@ -73,8 +75,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: collab <stats|explain|calibration|requests|bench-serve|kaggle|openml|run> [flags]
-  stats   -server URL                              show server EG/store state
+	fmt.Fprintln(os.Stderr, `usage: collab <stats|explain|calibration|requests|critpath|bench-serve|kaggle|openml|run> [flags]
+  stats   -server URL [-clients]                   show server EG/store state;
+                                                   -clients adds the per-client
+                                                   attribution table
+  critpath -server URL [-request ID] [-top N]      critical path through the
+          [-json] | -trace FILE                    server trace (or a saved
+                                                   Chrome trace file)
   explain -server URL [-format json|text|dot]      show the optimizer's last
           [-kind optimize|update] [-target plan|eg] decision trail
   calibration -server URL [-json]                  show predicted-vs-measured
@@ -235,6 +242,7 @@ func (f *obsFlags) flush() {
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	server := fs.String("server", "http://localhost:7171", "collabd URL")
+	clients := fs.Bool("clients", false, "also print the per-client attribution table")
 	_ = fs.Parse(args)
 	st, err := newRemote(*server).StatsE()
 	if err != nil {
@@ -256,7 +264,87 @@ func runStats(args []string) error {
 			fmt.Printf("calibration drift: worst %s at %.3f\n", st.MaxDriftFamily, st.MaxDrift)
 		}
 	}
+	fmt.Printf("contention: lock wait %.3fs, lock hold %.3fs, store lock wait %.3fs\n",
+		st.LockWaitSec, st.LockHoldSec, st.StoreLockWaitSec)
+	if st.Pool.Workers > 0 {
+		fmt.Printf("pool: %d workers, %d calls, %d helpers, %d rejected inline, queue wait %.3fs, utilization %.2f\n",
+			st.Pool.Workers, st.Pool.Calls, st.Pool.Helpers, st.Pool.RejectedInline,
+			st.Pool.QueueWaitSec, st.Pool.Utilization)
+	}
+	if *clients {
+		resp, err := http.Get(*server + "/v1/clients?format=text")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("clients: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		fmt.Println()
+		_, err = os.Stdout.Write(body)
+		return err
+	}
 	return nil
+}
+
+// runCritpath prints the critical-path analysis of the server's trace
+// buffer (GET /v1/critpath), or — with -trace — of a saved Chrome trace
+// file, fully offline.
+func runCritpath(args []string) error {
+	fs := flag.NewFlagSet("critpath", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:7171", "collabd URL")
+	tracePath := fs.String("trace", "", "analyze this Chrome trace file instead of asking the server")
+	request := fs.String("request", "", "restrict to spans tagged with this request ID")
+	top := fs.Int("top", obs.DefaultCritPathTopK, "how many top contributors to list")
+	asJSON := fs.Bool("json", false, "print the JSON report instead of the table")
+	_ = fs.Parse(args)
+
+	if *tracePath != "" {
+		raw, err := os.ReadFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		var ct obs.ChromeTrace
+		if err := json.Unmarshal(raw, &ct); err != nil {
+			return fmt.Errorf("critpath: parse %s: %w", *tracePath, err)
+		}
+		rep := obs.AnalyzeCritPath(ct.TraceEvents, *request, *top)
+		if rep.Spans == 0 {
+			return fmt.Errorf("critpath: no matching spans in %s", *tracePath)
+		}
+		if *asJSON {
+			return rep.WriteJSON(os.Stdout)
+		}
+		rep.WriteText(os.Stdout)
+		return nil
+	}
+
+	q := url.Values{}
+	if *request != "" {
+		q.Set("request", *request)
+	}
+	q.Set("top", fmt.Sprint(*top))
+	if !*asJSON {
+		q.Set("format", "text")
+	}
+	resp, err := http.Get(*server + "/v1/critpath?" + q.Encode())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("critpath: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	_, err = os.Stdout.Write(body)
+	return err
 }
 
 // runExplain fetches the server's most recent optimizer decision record
@@ -469,6 +557,12 @@ func runBenchServe(args []string) error {
 	for _, e := range report.Endpoints {
 		fmt.Printf("  %-9s n=%-5d err=%-3d p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 			e.Endpoint, e.Count, e.Errors, e.P50Ms, e.P95Ms, e.P99Ms, e.MaxMs)
+	}
+	if s := report.Saturation; s != nil {
+		fmt.Printf("server delta: optimize=%d update=%d lock wait %.3fs hold %.3fs store wait %.3fs\n",
+			s.OptimizeServed, s.UpdateServed, s.LockWaitSec, s.LockHoldSec, s.StoreLockWaitSec)
+		fmt.Printf("pool delta: %d calls, %d helpers, %d rejected inline, queue wait %.3fs, utilization %.2f\n",
+			s.PoolCalls, s.PoolHelpers, s.PoolRejectedInline, s.PoolQueueWaitSec, s.PoolUtilization)
 	}
 	return nil
 }

@@ -20,8 +20,11 @@
 // server spans exported at /v1/trace as Chrome trace JSON; -explain N keeps
 // the last N optimizer decision records exported at /v1/explain;
 // -requests N keeps a flight recorder of the last N request summaries
-// exported at /v1/requests (`collab requests`); -slow-request D warns on
-// requests slower than D; -pprof mounts net/http/pprof under /debug/pprof/.
+// exported at /v1/requests (`collab requests`); -clients N attributes
+// requests, wall time, bytes, and lock wait to up to N distinct callers
+// (keyed by X-Collab-Client, else remote address) at /v1/clients;
+// -slow-request D warns on requests slower than D; -pprof mounts
+// net/http/pprof under /debug/pprof/.
 //
 // -profile-file loads the cost profile from a JSON file — typically one
 // refitted from measurements by `collab calibration -fit TIER` — instead
@@ -75,6 +78,7 @@ func main() {
 		traceCap   = flag.Int("trace", 0, "buffer up to N server trace events for GET /v1/trace (0: tracing off)")
 		explainCap = flag.Int("explain", 16, "keep the last N optimizer decision records for GET /v1/explain (0: explain off)")
 		requestCap = flag.Int("requests", obs.DefaultFlightCap, "keep the last N request summaries for GET /v1/requests (0: flight recorder off)")
+		clientCap  = flag.Int("clients", obs.DefaultClientCap, "attribute resource usage to up to N distinct clients for GET /v1/clients (0: attribution off)")
 		slowWarn   = flag.Duration("slow-request", time.Second, "log a warning for requests slower than this (0: off)")
 		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		logLevel   = flag.String("log-level", "info", "log level: debug|info|warn|error")
@@ -140,6 +144,11 @@ func main() {
 		srvOpts = append(srvOpts, core.WithFlightRecorder(obs.NewFlightRecorder(*requestCap)))
 	} else {
 		srvOpts = append(srvOpts, core.WithFlightRecorder(nil))
+	}
+	if *clientCap > 0 {
+		srvOpts = append(srvOpts, core.WithClientTable(obs.NewClientTable(*clientCap)))
+	} else {
+		srvOpts = append(srvOpts, core.WithClientTable(nil))
 	}
 	stOpts := store.Options{MemoryBudget: *memBudget, DiskBudget: *diskBudget}
 	if *storeDir != "" {
@@ -216,7 +225,8 @@ func main() {
 		"profile", prof.Name)
 	logger.Info("debug surfaces", "metrics", "/metrics",
 		"trace", traceState(*traceCap), "explain", explainState(*explainCap),
-		"requests", requestState(*requestCap), "pprof", *pprofOn)
+		"requests", requestState(*requestCap), "clients", clientsState(*clientCap),
+		"pprof", *pprofOn)
 	handler := remote.NewHandler(srv,
 		remote.WithHandlerLogger(logger),
 		remote.WithSlowRequestWarn(*slowWarn),
@@ -246,6 +256,13 @@ func requestState(cap int) string {
 		return fmt.Sprintf("on (last %d summaries, GET /v1/requests)", cap)
 	}
 	return "off (-requests N to enable)"
+}
+
+func clientsState(cap int) string {
+	if cap > 0 {
+		return fmt.Sprintf("on (up to %d clients, GET /v1/clients)", cap)
+	}
+	return "off (-clients N to enable)"
 }
 
 func logLevelByName(name string) (slog.Level, error) {

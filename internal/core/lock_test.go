@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestLockSectionAccounting verifies the server-mutex instrumentation:
+// a request queued behind a held lock lands one observation in the
+// section's wait and hold histograms, emits a lock-wait trace span tagged
+// with its request ID, and reports the wait on its flight-recorder entry.
+func TestLockSectionAccounting(t *testing.T) {
+	tr := obs.NewTrace()
+	srv := newTestServer(WithTracing(tr))
+	w, _ := buildWorkload(syntheticTrain(50, 1), 7)
+
+	// Hold the server mutex so the optimize request must queue well past
+	// lockWaitSpanThreshold.
+	srv.mu.Lock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.OptimizeReq(w, "req-lock")
+	}()
+	time.Sleep(5 * time.Millisecond)
+	srv.mu.Unlock()
+	<-done
+
+	m := srv.metrics
+	if n := m.lockWait["optimize"].Count(); n != 1 {
+		t.Fatalf("optimize lock-wait observations = %d, want 1", n)
+	}
+	if s := m.lockWait["optimize"].Sum(); s < 0.001 {
+		t.Fatalf("optimize lock-wait sum = %v s, want >= 1ms (lock was held 5ms)", s)
+	}
+	if n := m.lockHold["optimize"].Count(); n != 1 {
+		t.Fatalf("optimize lock-hold observations = %d, want 1", n)
+	}
+	if srv.LockWaitSeconds() < 0.001 || srv.LockHoldSeconds() <= 0 {
+		t.Fatalf("scalar lock totals = wait %v / hold %v, want both positive",
+			srv.LockWaitSeconds(), srv.LockHoldSeconds())
+	}
+
+	var span *obs.TraceEvent
+	for _, ev := range tr.Events() {
+		if ev.Name == "lock-wait:optimize" {
+			span = &ev
+			break
+		}
+	}
+	if span == nil {
+		t.Fatal("no lock-wait:optimize span recorded despite a 5ms wait")
+	}
+	if span.Cat != "lock" || span.Args[obs.RequestIDKey] != "req-lock" {
+		t.Fatalf("lock-wait span malformed: %+v", span)
+	}
+
+	// The wait must surface on the request's flight summary via the
+	// pending annotation the middleware would merge at record time.
+	rec := srv.Flight().Record(obs.RequestSummary{RequestID: "req-lock", Status: 200})
+	if rec.LockWaitNanos < time.Millisecond.Nanoseconds() {
+		t.Fatalf("flight summary lock wait = %d ns, want >= 1ms", rec.LockWaitNanos)
+	}
+}
+
+// TestLockSectionsCoverHandlers pins the section vocabulary: each server
+// entry point accounts against its declared section even uncontended.
+func TestLockSectionsCoverHandlers(t *testing.T) {
+	srv := newTestServer()
+	w, _ := buildWorkload(syntheticTrain(50, 2), 3)
+	srv.OptimizeReq(w, "r1")
+	if _, err := Execute(w, nil, srv); err != nil {
+		t.Fatal(err)
+	}
+	srv.UpdateReq(w, "r1")
+	m := srv.metrics
+	if m.lockWait["optimize"].Count() != 1 {
+		t.Errorf("optimize section saw %d waits, want 1", m.lockWait["optimize"].Count())
+	}
+	if m.lockWait["update"].Count() != 1 {
+		t.Errorf("update section saw %d waits, want 1", m.lockWait["update"].Count())
+	}
+	for _, sec := range lockSections {
+		if m.lockWait[sec] == nil || m.lockHold[sec] == nil {
+			t.Errorf("section %q missing histograms", sec)
+		}
+	}
+	// Uncontended acquisitions must not emit trace spans (no recorder is
+	// attached here, but the threshold also guards traced servers — the
+	// histograms still saw every acquisition above).
+	if m.lockWait["optimize"].Sum() > lockWaitSpanThreshold.Seconds() {
+		t.Logf("note: uncontended optimize wait %v s exceeded the span threshold",
+			m.lockWait["optimize"].Sum())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/materialize"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/reuse"
 	"repro/internal/store"
 )
@@ -72,6 +73,12 @@ type Server struct {
 	// WithFlightRecorder(nil) disables it (nil is a zero-cost no-op).
 	flight    *obs.FlightRecorder
 	flightSet bool
+	// clients is the per-client attribution table fed by the HTTP layer
+	// (requests, wall time, bytes, lock wait per caller), served at
+	// /v1/clients. Default-on with a small cap; WithClientTable(nil)
+	// disables it (nil is a zero-cost no-op).
+	clients    *obs.ClientTable
+	clientsSet bool
 	// started anchors collab_uptime_seconds; version/goVersion back the
 	// collab_build_info metric and /v1/stats.
 	started   obs.Stopwatch
@@ -102,11 +109,31 @@ type serverMetrics struct {
 	planPrunedCost  *obs.Counter
 	planPrunedNoMat *obs.Counter
 	warmstartsFound *obs.Counter
+
+	// lockWait/lockHold account the server mutex per section: how long a
+	// request queued before its section ran, and how long it then held the
+	// lock. Keyed by the fixed lockSections vocabulary.
+	lockWait map[string]*obs.Histogram
+	lockHold map[string]*obs.Histogram
+	// storeLockWait is the store manager's write-lock wait histogram,
+	// retained so /v1/stats can report its scalar sum.
+	storeLockWait *obs.Histogram
+}
+
+// lockSections is the fixed vocabulary of server-mutex sections; each gets
+// a wait and a hold histogram, so label cardinality is bounded by
+// construction.
+var lockSections = []string{"optimize", "update", "materialize", "report"}
+
+// serverLockBuckets spans uncontended sub-microsecond acquisitions through
+// pathological multi-second queueing.
+var serverLockBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1,
 }
 
 func newServerMetrics() *serverMetrics {
 	reg := obs.NewRegistry()
-	return &serverMetrics{
+	m := &serverMetrics{
 		reg:           reg,
 		optimizeTotal: reg.Counter("collab_optimize_requests_total", "optimize round-trips served"),
 		optimizeSec: reg.Histogram("collab_optimize_seconds",
@@ -132,6 +159,51 @@ func newServerMetrics() *serverMetrics {
 		warmstartsFound: reg.Counter("collab_warmstart_candidates_total",
 			"warmstart donors proposed to clients"),
 	}
+	m.lockWait = make(map[string]*obs.Histogram, len(lockSections))
+	m.lockHold = make(map[string]*obs.Histogram, len(lockSections))
+	for _, sec := range lockSections {
+		m.lockWait[sec] = reg.Histogram(obs.Labeled("collab_server_lock_wait_seconds", "section", sec),
+			"time requests queued on the server mutex before their section ran", serverLockBuckets)
+		m.lockHold[sec] = reg.Histogram(obs.Labeled("collab_server_lock_hold_seconds", "section", sec),
+			"time requests held the server mutex inside their section", serverLockBuckets)
+	}
+	return m
+}
+
+// lockWaitSpanThreshold gates lock-wait trace spans: uncontended
+// acquisitions (the common case by far) must not flood the trace buffer,
+// while any wait long enough to matter on a request's critical path is
+// kept. Histograms see every acquisition regardless.
+const lockWaitSpanThreshold = 100 * time.Microsecond
+
+// lockSection acquires the server mutex on behalf of the named section,
+// accounting the queue wait and — above lockWaitSpanThreshold — emitting a
+// "lock-wait:<section>" trace span (cat "lock") so the critical-path
+// analyzer can attribute contention to the request that suffered it. The
+// returned release observes the hold time and unlocks; callers defer it
+// exactly where they previously deferred s.mu.Unlock().
+func (s *Server) lockSection(section, requestID string) (release func(), wait time.Duration) {
+	sw := obs.StartTimer()
+	s.mu.Lock()
+	wait = sw.Elapsed()
+	m := s.metrics
+	if h := m.lockWait[section]; h != nil {
+		h.Observe(wait.Seconds())
+	}
+	if s.trace != nil && wait >= lockWaitSpanThreshold {
+		args := map[string]any{"section": section}
+		if requestID != "" {
+			args[obs.RequestIDKey] = requestID
+		}
+		s.trace.Span("lock-wait:"+section, "lock", 0, sw.StartedAt(), wait, args)
+	}
+	hold := obs.StartTimer()
+	return func() {
+		if h := m.lockHold[section]; h != nil {
+			h.Observe(hold.Elapsed().Seconds())
+		}
+		s.mu.Unlock()
+	}, wait
 }
 
 // ServerOption configures a Server.
@@ -194,6 +266,13 @@ func WithFlightRecorder(f *obs.FlightRecorder) ServerOption {
 	return func(srv *Server) { srv.flight = f; srv.flightSet = true }
 }
 
+// WithClientTable replaces the default per-client attribution table (a
+// DefaultClientCap-entry table). Pass a larger table to track more
+// distinct clients, or nil to disable attribution entirely.
+func WithClientTable(t *obs.ClientTable) ServerOption {
+	return func(srv *Server) { srv.clients = t; srv.clientsSet = true }
+}
+
 // NewServer builds a server around the given store.
 func NewServer(st *store.Manager, opts ...ServerOption) *Server {
 	srv := &Server{
@@ -213,6 +292,9 @@ func NewServer(st *store.Manager, opts ...ServerOption) *Server {
 	}
 	if !srv.flightSet {
 		srv.flight = obs.NewFlightRecorder(0)
+	}
+	if !srv.clientsSet {
+		srv.clients = obs.NewClientTable(0)
 	}
 	srv.initMetrics()
 	return srv
@@ -239,6 +321,8 @@ func (s *Server) initMetrics() {
 		func() float64 { return float64(s.Store.MemoryBytes()) })
 	reg.GaugeFunc("collab_store_disk_bytes", "deduplicated bytes resident in the disk tier",
 		func() float64 { return float64(s.Store.DiskBytes()) })
+	m.storeLockWait = reg.Histogram("collab_store_lock_wait_seconds",
+		"time callers queued on the store manager's write lock", serverLockBuckets)
 	s.Store.Instrument(store.Metrics{
 		GetHits:   reg.Counter("collab_store_get_hits_total", "store lookups that found content"),
 		GetMisses: reg.Counter("collab_store_get_misses_total", "store lookups that missed"),
@@ -254,6 +338,8 @@ func (s *Server) initMetrics() {
 		ChecksumFailures: reg.Counter("collab_store_checksum_failures_total",
 			"disk reads rejected by checksum verification (files quarantined)"),
 		BytesFetched: reg.Counter("collab_store_fetched_bytes_total", "logical bytes served by store lookups"),
+		LockWait:     m.storeLockWait,
+		Trace:        s.trace,
 	})
 	if ins, ok := s.strategy.(materialize.Instrumentable); ok {
 		ins.Instrument(&materialize.Metrics{
@@ -266,6 +352,11 @@ func (s *Server) initMetrics() {
 	// Columnar-kernel counters (join/group-by/one-hot row throughput,
 	// partition counts, dictionary hit ratio).
 	data.RegisterMetrics(reg)
+	// Parallel-pool saturation: per-site queue-wait/run histograms, helper
+	// and inflight counts, utilization (collab_pool_*). Process-global —
+	// the pool is shared, so the last-constructed server's registry owns
+	// the accounting sink.
+	parallel.RegisterMetrics(reg)
 	// Calibration families (predicted-vs-actual cost quality) and Go
 	// runtime health, both scrape-backed.
 	calib.RegisterMetrics(reg, s.calib)
@@ -282,6 +373,15 @@ func (s *Server) initMetrics() {
 			func() float64 { return float64(s.flight.Len()) })
 		reg.GaugeFunc("collab_flight_capacity", "flight recorder ring capacity",
 			func() float64 { return float64(s.flight.Cap()) })
+		reg.GaugeFunc("collab_flight_pending_evicted_total",
+			"in-flight request annotations discarded by the pending-map bound",
+			func() float64 { return float64(s.flight.PendingEvicted()) })
+	}
+	// Per-client attribution health: distinct clients currently tracked
+	// (the cap plus one overflow bucket is the ceiling).
+	if s.clients != nil {
+		reg.GaugeFunc("collab_clients_tracked", "distinct clients in the attribution table",
+			func() float64 { return float64(s.clients.Len()) })
 	}
 	// Trace-recorder health: without these gauges, drops are only visible
 	// inside the exported trace JSON.
@@ -289,6 +389,9 @@ func (s *Server) initMetrics() {
 		reg.GaugeFunc("collab_trace_buffered_events", "events currently in the trace buffer",
 			func() float64 { return float64(s.trace.Len()) })
 		reg.GaugeFunc("collab_trace_dropped_events", "events dropped by the trace buffer cap",
+			func() float64 { return float64(s.trace.Dropped()) })
+		reg.GaugeFunc("collab_trace_dropped_total",
+			"events dropped by the trace buffer cap (conventionally-named alias)",
 			func() float64 { return float64(s.trace.Dropped()) })
 		reg.GaugeFunc("collab_trace_buffer_capacity", "trace buffer capacity (0 = unbounded)",
 			func() float64 { return float64(s.trace.Cap()) })
@@ -314,6 +417,36 @@ func (s *Server) Calibration() *calib.Collector { return s.calib }
 // Flight returns the request flight recorder backing /v1/requests, or nil
 // when recording is disabled.
 func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// Clients returns the per-client attribution table backing /v1/clients, or
+// nil when attribution is disabled.
+func (s *Server) Clients() *obs.ClientTable { return s.clients }
+
+// LockWaitSeconds returns the cumulative time requests spent queued on the
+// server mutex, summed across sections (the scalar view of the
+// collab_server_lock_wait_seconds histograms, mirrored on /v1/stats).
+func (s *Server) LockWaitSeconds() float64 {
+	var total float64
+	for _, h := range s.metrics.lockWait {
+		total += h.Sum()
+	}
+	return total
+}
+
+// LockHoldSeconds returns the cumulative time requests held the server
+// mutex, summed across sections.
+func (s *Server) LockHoldSeconds() float64 {
+	var total float64
+	for _, h := range s.metrics.lockHold {
+		total += h.Sum()
+	}
+	return total
+}
+
+// StoreLockWaitSeconds returns the cumulative time callers spent queued on
+// the store manager's write lock (the scalar view of
+// collab_store_lock_wait_seconds, mirrored on /v1/stats).
+func (s *Server) StoreLockWaitSeconds() float64 { return s.metrics.storeLockWait.Sum() }
 
 // UptimeSeconds reports how long ago this server was constructed.
 func (s *Server) UptimeSeconds() float64 { return s.started.Elapsed().Seconds() }
@@ -341,8 +474,8 @@ func (s *Server) ReportRun(run calib.ClientRun, requestID string) {
 	if requestID == "" {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, _ := s.lockSection("report", requestID)
+	defer release()
 	if len(s.pendingRuns) >= maxPendingRuns {
 		clear(s.pendingRuns)
 	}
@@ -433,8 +566,8 @@ func (s *Server) Optimize(w *graph.DAG) *Optimization { return s.OptimizeReq(w, 
 // correlates the request end-to-end. An empty ID leaves the records
 // untagged.
 func (s *Server) OptimizeReq(w *graph.DAG, requestID string) *Optimization {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, lockWait := s.lockSection("optimize", requestID)
+	defer release()
 	sw := obs.StartTimer()
 	costs := reuse.GatherCosts(w, s.EG, s.Store)
 	plan := s.planner.Plan(w, costs)
@@ -456,11 +589,12 @@ func (s *Server) OptimizeReq(w *graph.DAG, requestID string) *Optimization {
 	m.warmstartsFound.Add(int64(len(ws)))
 	if s.flight != nil && requestID != "" {
 		s.flight.Annotate(requestID, obs.RequestAnnotation{
-			Vertices:   w.Len(),
-			Reused:     len(plan.Reuse),
-			Computes:   plan.Stats.Computes,
-			Warmstarts: len(ws),
-			PlanNanos:  overhead.Nanoseconds(),
+			Vertices:      w.Len(),
+			Reused:        len(plan.Reuse),
+			Computes:      plan.Stats.Computes,
+			Warmstarts:    len(ws),
+			PlanNanos:     overhead.Nanoseconds(),
+			LockWaitNanos: lockWait.Nanoseconds(),
 		})
 	}
 	if s.explain != nil {
@@ -498,14 +632,14 @@ func (s *Server) Update(executed *graph.DAG) { s.UpdateReq(executed, "") }
 // UpdateReq is Update carrying a client-generated request ID for
 // correlation (see OptimizeReq).
 func (s *Server) UpdateReq(executed *graph.DAG, requestID string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, lockWait := s.lockSection("update", requestID)
+	defer release()
 	sw := obs.StartTimer()
 
 	// Calibration reads EG predictions, so it must run before Merge
 	// refreshes them with this run's measurements.
 	sc := s.observeExecutionLocked(executed, requestID)
-	s.annotateUpdateLocked(executed, requestID)
+	s.annotateUpdateLocked(executed, requestID, lockWait)
 
 	s.EG.Merge(executed)
 
@@ -554,14 +688,14 @@ func (s *Server) UpdateMeta(executed *graph.DAG) (want []string) {
 // UpdateMetaReq is UpdateMeta carrying a client-generated request ID for
 // correlation (see OptimizeReq).
 func (s *Server) UpdateMetaReq(executed *graph.DAG, requestID string) (want []string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, lockWait := s.lockSection("update", requestID)
+	defer release()
 	sw := obs.StartTimer()
 
 	// Calibration reads EG predictions, so it must run before Merge
 	// refreshes them with this run's measurements.
 	sc := s.observeExecutionLocked(executed, requestID)
-	s.annotateUpdateLocked(executed, requestID)
+	s.annotateUpdateLocked(executed, requestID, lockWait)
 
 	s.EG.Merge(executed)
 	touched := make([]string, 0, executed.Len())
@@ -657,7 +791,7 @@ func (s *Server) observeExecutionLocked(executed *graph.DAG, requestID string) *
 // the same run recorded its own summary already (separate HTTP request),
 // so this annotation only carries what the update knows: how many
 // vertices merged and how many the client actually loaded from EG.
-func (s *Server) annotateUpdateLocked(executed *graph.DAG, requestID string) {
+func (s *Server) annotateUpdateLocked(executed *graph.DAG, requestID string, lockWait time.Duration) {
 	if s.flight == nil || requestID == "" {
 		return
 	}
@@ -667,14 +801,28 @@ func (s *Server) annotateUpdateLocked(executed *graph.DAG, requestID string) {
 			reused++
 		}
 	}
-	s.flight.Annotate(requestID, obs.RequestAnnotation{Vertices: executed.Len(), Reused: reused})
+	s.flight.Annotate(requestID, obs.RequestAnnotation{
+		Vertices:      executed.Len(),
+		Reused:        reused,
+		LockWaitNanos: lockWait.Nanoseconds(),
+	})
 }
 
 // PutArtifact stores uploaded content for a vertex and marks it
 // materialized. It is the upload half of the remote update protocol.
 func (s *Server) PutArtifact(id string, a graph.Artifact) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.PutArtifactReq(id, a, "")
+}
+
+// PutArtifactReq is PutArtifact carrying a client-generated request ID so
+// the lock wait of an upload is attributed to the request that suffered it
+// (see OptimizeReq).
+func (s *Server) PutArtifactReq(id string, a graph.Artifact, requestID string) error {
+	release, lockWait := s.lockSection("materialize", requestID)
+	defer release()
+	if s.flight != nil && requestID != "" {
+		s.flight.Annotate(requestID, obs.RequestAnnotation{LockWaitNanos: lockWait.Nanoseconds()})
+	}
 	if err := s.Store.Put(id, a); err != nil {
 		return err
 	}

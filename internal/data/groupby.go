@@ -129,7 +129,7 @@ func aggregateTokens[K comparable](toks []K, hash func(K) uint64, aggCols []*Col
 	// state per fixed chunk — the floating-point accumulation tree is the
 	// same shape at every width.
 	locals := make([][]map[K]*gbGroup, nchunks)
-	parallel.For(n, rowGrain, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteData, n, rowGrain, func(lo, hi int) {
 		for base := lo; base < hi; base += rowGrain {
 			end := min(base+rowGrain, hi)
 			local := make([]map[K]*gbGroup, kernelParts)
@@ -159,7 +159,7 @@ func aggregateTokens[K comparable](toks []K, hash func(K) uint64, aggCols []*Col
 	// Phase 2: merge partitions concurrently; chunks merge in chunk order
 	// within each partition, fixing the floating-point combination tree.
 	merged := make([]map[K]*gbGroup, kernelParts)
-	parallel.For(kernelParts, 1, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteData, kernelParts, 1, func(lo, hi int) {
 		for p := lo; p < hi; p++ {
 			var global map[K]*gbGroup
 			for c := 0; c < nchunks; c++ {
@@ -202,7 +202,7 @@ func aggregateTokens[K comparable](toks []K, hash func(K) uint64, aggCols []*Col
 // order is total.
 func sortGroupsByRenderedKey(kc *Column, groups []*gbGroup) []string {
 	keys := make([]string, len(groups))
-	parallel.For(len(groups), 256, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteData, len(groups), 256, func(lo, hi int) {
 		for gi := lo; gi < hi; gi++ {
 			keys[gi] = kc.StringAt(int(groups[gi].firstRow))
 		}

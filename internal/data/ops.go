@@ -207,7 +207,7 @@ func (f *Frame) OneHot(col string, opHash string) (*Frame, error) {
 	// shared pool, then append sequentially in sorted-category order.
 	// Dictionary-encoded columns compare 4-byte codes instead of strings.
 	indicators := make([]*Column, len(sorted))
-	parallel.For(len(sorted), 1, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteData, len(sorted), 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			cat := sorted[k]
 			vals := make([]float64, c.Len())
@@ -296,7 +296,7 @@ func (f *Frame) Join(right *Frame, key string, kind JoinKind, opHash string) (*F
 		jobs = append(jobs, gatherJob{c, DeriveID(opHash+"\x01R", c.ID), ridx, true})
 	}
 	gathered := make([]*Column, len(jobs))
-	parallel.For(len(jobs), 1, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteData, len(jobs), 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			gathered[k] = jobs[k].src.Gather(jobs[k].idx, jobs[k].id)
 		}
@@ -317,7 +317,7 @@ func (f *Frame) Join(right *Frame, key string, kind JoinKind, opHash string) (*F
 // over the shared pool.
 func renderKeys(c *Column) []string {
 	keys := make([]string, c.Len())
-	parallel.For(c.Len(), rowGrain, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteData, c.Len(), rowGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			keys[i] = c.StringAt(i)
 		}
@@ -442,7 +442,7 @@ func (f *Frame) GroupBy(key string, aggs []Agg, opHash string) (*Frame, error) {
 		c := aggCols[slots[ai]]
 		vals := make([]float64, len(groups))
 		slot := slots[ai]
-		parallel.For(len(groups), 256, func(lo, hi int) {
+		parallel.ForSite(parallel.SiteData, len(groups), 256, func(lo, hi int) {
 			for gi := lo; gi < hi; gi++ {
 				g := groups[gi]
 				vals[gi] = g.stats[slot].value(a.Kind, g.rows)

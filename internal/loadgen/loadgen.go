@@ -87,6 +87,23 @@ type EndpointReport struct {
 	MeanMs   float64 `json:"mean_ms"`
 }
 
+// SaturationDelta is the server-side /v1/stats difference across the load
+// run: how many optimizer round-trips the run drove, how much time callers
+// spent queued on (and holding) the server and store locks, and what the
+// worker pool did. Utilization is an end-of-run snapshot, not a delta.
+type SaturationDelta struct {
+	OptimizeServed     int64   `json:"optimize_served"`
+	UpdateServed       int64   `json:"update_served"`
+	LockWaitSec        float64 `json:"lock_wait_sec"`
+	LockHoldSec        float64 `json:"lock_hold_sec"`
+	StoreLockWaitSec   float64 `json:"store_lock_wait_sec"`
+	PoolCalls          int64   `json:"pool_calls"`
+	PoolHelpers        int64   `json:"pool_helpers"`
+	PoolRejectedInline int64   `json:"pool_rejected_inline"`
+	PoolQueueWaitSec   float64 `json:"pool_queue_wait_sec"`
+	PoolUtilization    float64 `json:"pool_utilization"`
+}
+
 // Report is the final scoreboard, serialized as BENCH_serve.json and
 // compared across commits by cmd/benchcheck.
 type Report struct {
@@ -99,6 +116,10 @@ type Report struct {
 	Total       int64            `json:"total"`
 	Errors      int64            `json:"errors"`
 	Endpoints   []EndpointReport `json:"endpoints"`
+	// Saturation embeds the before/after /v1/stats delta. Omitted (nil)
+	// when either stats fetch failed, so older baseline reports and new
+	// ones stay comparable in cmd/benchcheck.
+	Saturation *SaturationDelta `json:"saturation,omitempty"`
 }
 
 // WriteJSON renders the report as indented, key-stable JSON.
@@ -299,6 +320,12 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	// Snapshot server-side saturation counters around the run; the delta
+	// rides on the report. Best-effort: a failed fetch just drops the
+	// section rather than failing the load run.
+	statsClient := remote.NewClient(serverURL, cost.Remote())
+	before, beforeErr := statsClient.StatsE()
+
 	interval := time.Duration(float64(time.Second) / cfg.TargetRPS)
 	warmupN := int(cfg.Warmup / interval)
 	measureN := int(cfg.Duration / interval)
@@ -351,7 +378,24 @@ func Run(cfg Config) (*Report, error) {
 	measureElapsed := time.Since(measureStart)
 	wg.Wait()
 
+	var saturation *SaturationDelta
+	if after, afterErr := statsClient.StatsE(); beforeErr == nil && afterErr == nil {
+		saturation = &SaturationDelta{
+			OptimizeServed:     after.OptimizeCount - before.OptimizeCount,
+			UpdateServed:       after.UpdateCount - before.UpdateCount,
+			LockWaitSec:        after.LockWaitSec - before.LockWaitSec,
+			LockHoldSec:        after.LockHoldSec - before.LockHoldSec,
+			StoreLockWaitSec:   after.StoreLockWaitSec - before.StoreLockWaitSec,
+			PoolCalls:          after.Pool.Calls - before.Pool.Calls,
+			PoolHelpers:        after.Pool.Helpers - before.Pool.Helpers,
+			PoolRejectedInline: after.Pool.RejectedInline - before.Pool.RejectedInline,
+			PoolQueueWaitSec:   after.Pool.QueueWaitSec - before.Pool.QueueWaitSec,
+			PoolUtilization:    after.Pool.Utilization,
+		}
+	}
+
 	report := &Report{
+		Saturation:  saturation,
 		Mix:         cfg.Mix,
 		TargetRPS:   cfg.TargetRPS,
 		WarmupSec:   cfg.Warmup.Seconds(),

@@ -92,10 +92,26 @@ func TestRunSmoke(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"mix", "target_rps", "achieved_rps", "total", "errors", "endpoints"} {
+	for _, key := range []string{"mix", "target_rps", "achieved_rps", "total", "errors", "endpoints", "saturation"} {
 		if _, ok := decoded[key]; !ok {
 			t.Errorf("report JSON missing key %q", key)
 		}
+	}
+
+	// The saturation delta is present against a live server and shows the
+	// run's optimizer traffic and real lock holds; waits may be ~0.
+	sat := report.Saturation
+	if sat == nil {
+		t.Fatal("saturation delta missing from an in-process run")
+	}
+	if sat.OptimizeServed <= 0 {
+		t.Errorf("OptimizeServed = %d, want > 0 for the mixed mix", sat.OptimizeServed)
+	}
+	if sat.LockHoldSec <= 0 {
+		t.Errorf("LockHoldSec delta = %v, want > 0 across a load run", sat.LockHoldSec)
+	}
+	if sat.LockWaitSec < 0 || sat.StoreLockWaitSec < 0 || sat.PoolQueueWaitSec < 0 {
+		t.Errorf("negative saturation deltas: %+v", sat)
 	}
 }
 

@@ -85,7 +85,7 @@ func (g *GradientBoostedTrees) Fit(x [][]float64, y []float64) error {
 	}
 	// Score rows in parallel; each row accumulates tree contributions in
 	// tree order, so the floating-point result matches a sequential pass.
-	parallel.For(n, 256, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteML, n, 256, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s := g.Base
 			for _, tr := range g.Trees {
@@ -98,7 +98,7 @@ func (g *GradientBoostedTrees) Fit(x [][]float64, y []float64) error {
 	g.TreesGrown = 0
 	bins := newBinner(x) // shared (read-only) across all boosting rounds
 	for len(g.Trees) < g.NTrees {
-		parallel.For(n, 1024, func(lo, hi int) {
+		parallel.ForSite(parallel.SiteML, n, 1024, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				grad[i] = y[i] - sigmoid(score[i]) // negative gradient
 			}
@@ -115,7 +115,7 @@ func (g *GradientBoostedTrees) Fit(x [][]float64, y []float64) error {
 		root := t.build(grad, idx, 0)
 		g.Trees = append(g.Trees, root)
 		g.TreesGrown++
-		parallel.For(n, 256, func(lo, hi int) {
+		parallel.ForSite(parallel.SiteML, n, 256, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				score[i] += g.LearningRate * root.predict(x[i])
 			}
@@ -146,7 +146,7 @@ func (g *GradientBoostedTrees) sampleRows(rng *rand.Rand, n int) []int {
 // Predict implements Model, returning P(y=1).
 func (g *GradientBoostedTrees) Predict(x [][]float64) []float64 {
 	out := make([]float64, len(x))
-	parallel.For(len(x), 256, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteML, len(x), 256, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s := g.Base
 			for _, tr := range g.Trees {
@@ -236,7 +236,7 @@ func (r *RandomForest) Fit(x [][]float64, y []float64) error {
 	// against the shared y and shared bins instead.
 	bins := newBinner(x)
 	trees := make([]*DecisionTree, r.NTrees)
-	parallel.For(r.NTrees, 1, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteML, r.NTrees, 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			t := &DecisionTree{
 				MaxDepth:       r.MaxDepth,
@@ -264,7 +264,7 @@ func (r *RandomForest) Predict(x [][]float64) []float64 {
 	}
 	// Per-row vote, accumulated in tree order so the floating-point sum
 	// matches the sequential tree-major loop exactly.
-	parallel.For(len(x), 256, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteML, len(x), 256, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var s float64
 			for _, t := range r.Trees {
@@ -325,7 +325,7 @@ func (k *KNN) Predict(x [][]float64) []float64 {
 	type nb struct{ d, y float64 }
 	// The distance scan is the hot loop: queries are independent and the
 	// training set is read-only, so rows fan out over the shared pool.
-	parallel.For(len(x), 16, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteML, len(x), 16, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			q := x[i]
 			best := make([]nb, 0, k.K+1)

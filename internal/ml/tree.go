@@ -67,7 +67,7 @@ func newBinner(x [][]float64) *binner {
 	}
 	// Per-feature quantile edges are independent; each chunk carries its
 	// own sample buffer.
-	parallel.For(d, 8, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteML, d, 8, func(lo, hi int) {
 		vals := make([]float64, 0, sampleCap+1)
 		for f := lo; f < hi; f++ {
 			vals = vals[:0]
@@ -88,7 +88,7 @@ func newBinner(x [][]float64) *binner {
 	// Row binning writes disjoint rows of one flat backing array.
 	flat := make([]uint8, n*d)
 	b.idx = make([][]uint8, n)
-	parallel.For(n, 1024, func(lo, hi int) {
+	parallel.ForSite(parallel.SiteML, n, 1024, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			bi := flat[i*d : (i+1)*d : (i+1)*d]
 			row := x[i]
@@ -294,7 +294,7 @@ func (t *DecisionTree) bestSplit(y []float64, idx []int) (feat int, bin uint8, t
 
 	results := make([]featSplit, len(feats))
 	if len(idx)*len(feats) >= parallelSplitWork && parallel.Workers() > 1 {
-		parallel.For(len(feats), 4, func(lo, hi int) {
+		parallel.ForSite(parallel.SiteML, len(feats), 4, func(lo, hi int) {
 			hist := make([]binStats, maxBins)
 			for k := lo; k < hi; k++ {
 				results[k] = scanFeature(t.bins, feats[k], y, idx, ts, ts2, n, t.Classification, hist)

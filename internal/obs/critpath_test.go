@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// syntheticTrace models one request's server-side timeline: a sched
+// instant (ignored), overlapping fetch/compute spans across two worker
+// lanes, a lock-wait span, and the enclosing execute span, plus one span
+// from an unrelated request that a filtered analysis must exclude.
+func syntheticTrace() []TraceEvent {
+	rid := map[string]any{RequestIDKey: "req-42"}
+	return []TraceEvent{
+		{Name: "v1-scheduled", Cat: "sched", Ph: "i", TS: 0, TID: 1, Args: rid},
+		{Name: "execute", Cat: "execute", Ph: "X", TS: 0, Dur: 1000, TID: 0, Args: rid},
+		{Name: "lock-wait:optimize", Cat: "lock", Ph: "X", TS: 0, Dur: 150, TID: 0, Args: rid},
+		{Name: "fetch-a", Cat: "fetch", Ph: "X", TS: 150, Dur: 200, TID: 1, Args: rid},
+		{Name: "compute-b", Cat: "compute", Ph: "X", TS: 150, Dur: 300, TID: 2, Args: rid},
+		{Name: "compute-c", Cat: "compute", Ph: "X", TS: 500, Dur: 400, TID: 1, Args: rid},
+		{Name: "other-request", Cat: "compute", Ph: "X", TS: 0, Dur: 5000, TID: 3,
+			Args: map[string]any{RequestIDKey: "req-99"}},
+	}
+}
+
+func TestAnalyzeCritPathFiltersAndAttributes(t *testing.T) {
+	rep := AnalyzeCritPath(syntheticTrace(), "req-42", 3)
+	if rep.Spans != 5 {
+		t.Fatalf("spans = %d, want 5 (instant and foreign spans excluded)", rep.Spans)
+	}
+	if rep.WallNS != 1_000_000 {
+		t.Fatalf("wall = %d ns, want 1000000", rep.WallNS)
+	}
+	if rep.PathNS+rep.IdleNS != rep.WallNS {
+		t.Fatalf("path %d + idle %d != wall %d", rep.PathNS, rep.IdleNS, rep.WallNS)
+	}
+	// The terminal span is "execute" (latest end, latest sort position on
+	// the end tie with compute-c ending at 900? no — execute ends at 1000).
+	last := rep.Path[len(rep.Path)-1]
+	if last.Name != "execute" {
+		t.Fatalf("terminal path vertex = %q, want execute", last.Name)
+	}
+	var pathSum int64
+	for _, v := range rep.Path {
+		pathSum += v.PathNS
+	}
+	if pathSum != rep.PathNS {
+		t.Fatalf("vertex contributions sum to %d, report says %d", pathSum, rep.PathNS)
+	}
+	var catSum int64
+	for _, c := range rep.Categories {
+		catSum += c.NS
+	}
+	if catSum != rep.PathNS {
+		t.Fatalf("category breakdown sums to %d, path is %d", catSum, rep.PathNS)
+	}
+	if len(rep.Top) > 3 {
+		t.Fatalf("top-k returned %d vertices, want <= 3", len(rep.Top))
+	}
+	for i := 1; i < len(rep.Top); i++ {
+		if rep.Top[i].PathNS > rep.Top[i-1].PathNS {
+			t.Fatalf("top vertices not sorted by contribution: %v", rep.Top)
+		}
+	}
+}
+
+func TestAnalyzeCritPathUnfiltered(t *testing.T) {
+	rep := AnalyzeCritPath(syntheticTrace(), "", 0)
+	if rep.Spans != 6 {
+		t.Fatalf("unfiltered spans = %d, want 6", rep.Spans)
+	}
+	if rep.WallNS != 5_000_000 {
+		t.Fatalf("unfiltered wall = %d, want 5000000", rep.WallNS)
+	}
+}
+
+func TestAnalyzeCritPathEmpty(t *testing.T) {
+	rep := AnalyzeCritPath(nil, "", 0)
+	if rep.Spans != 0 || rep.WallNS != 0 || len(rep.Path) != 0 {
+		t.Fatalf("empty analysis = %+v, want zero report", rep)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep.WriteText(&buf) // must not panic
+}
+
+// TestAnalyzeCritPathDeterministic runs the analyzer twice over a permuted
+// event slice and requires byte-identical JSON: event order must not leak
+// into the report.
+func TestAnalyzeCritPathDeterministic(t *testing.T) {
+	events := syntheticTrace()
+	permuted := make([]TraceEvent, len(events))
+	for i, ev := range events {
+		permuted[len(events)-1-i] = ev
+	}
+	var a, b bytes.Buffer
+	if err := AnalyzeCritPath(events, "req-42", 0).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := AnalyzeCritPath(permuted, "req-42", 0).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("permuted events changed the report:\n%s\nvs:\n%s", a.String(), b.String())
+	}
+}
+
+// TestCritPathGolden pins both renderings byte-for-byte. Regenerate with
+// -update when the report contract changes deliberately.
+func TestCritPathGolden(t *testing.T) {
+	rep := AnalyzeCritPath(syntheticTrace(), "req-42", 3)
+	for _, tc := range []struct {
+		golden string
+		render func(*bytes.Buffer)
+	}{
+		{"critpath_report.json", func(b *bytes.Buffer) {
+			if err := rep.WriteJSON(b); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"critpath_report.txt", func(b *bytes.Buffer) { rep.WriteText(b) }},
+	} {
+		var buf bytes.Buffer
+		tc.render(&buf)
+		golden := filepath.Join("testdata", tc.golden)
+		if *update {
+			if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (run with -update to regenerate)", err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s drifted from golden file.\ngot:\n%s\nwant:\n%s", tc.golden, buf.Bytes(), want)
+		}
+	}
+}

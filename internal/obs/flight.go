@@ -31,16 +31,20 @@ type RequestSummary struct {
 	Computes   int   `json:"computes,omitempty"`
 	Warmstarts int   `json:"warmstarts,omitempty"`
 	PlanNanos  int64 `json:"plan_ns,omitempty"`
+	// LockWaitNanos is time the request spent queued on the server mutex
+	// before its section (optimize/update/materialize) could run.
+	LockWaitNanos int64 `json:"lock_wait_ns,omitempty"`
 }
 
 // RequestAnnotation is the optimizer's contribution to a request summary,
 // keyed by request ID until the middleware records the finished request.
 type RequestAnnotation struct {
-	Vertices   int
-	Reused     int
-	Computes   int
-	Warmstarts int
-	PlanNanos  int64
+	Vertices      int
+	Reused        int
+	Computes      int
+	Warmstarts    int
+	PlanNanos     int64
+	LockWaitNanos int64
 }
 
 // RequestFilter selects summaries from the flight recorder. The zero
@@ -69,8 +73,10 @@ type FlightRecorder struct {
 	full bool
 	// pending holds annotations for requests still in flight, popped by
 	// Record. Bounded: an annotation whose request never finishes (client
-	// gone mid-handler) must not leak.
-	pending map[string]RequestAnnotation
+	// gone mid-handler) must not leak. pendingEvicted counts annotations
+	// discarded by that bound (exported as a /metrics gauge).
+	pending        map[string]RequestAnnotation
+	pendingEvicted int64
 }
 
 // DefaultFlightCap bounds a NewFlightRecorder(0) ring.
@@ -124,17 +130,31 @@ func (f *FlightRecorder) Annotate(requestID string, ann RequestAnnotation) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if len(f.pending) >= maxPendingAnnotations {
+		f.pendingEvicted += int64(len(f.pending))
 		clear(f.pending)
 	}
 	f.pending[requestID] = ann
 }
 
+// PendingEvicted returns how many in-flight annotations the pending-map
+// bound has discarded over the recorder's lifetime.
+func (f *FlightRecorder) PendingEvicted() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pendingEvicted
+}
+
 // Record stamps the summary's sequence number, merges any pending
 // annotation for its request ID, and appends it to the ring (evicting the
-// oldest entry once full).
-func (f *FlightRecorder) Record(s RequestSummary) {
+// oldest entry once full). It returns the merged summary so the caller
+// can feed downstream accounting (the per-client table) with the
+// annotation-enriched view.
+func (f *FlightRecorder) Record(s RequestSummary) RequestSummary {
 	if f == nil {
-		return
+		return s
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -145,6 +165,7 @@ func (f *FlightRecorder) Record(s RequestSummary) {
 		s.Computes = ann.Computes
 		s.Warmstarts = ann.Warmstarts
 		s.PlanNanos = ann.PlanNanos
+		s.LockWaitNanos = ann.LockWaitNanos
 	}
 	f.seq++
 	s.Seq = f.seq
@@ -157,13 +178,14 @@ func (f *FlightRecorder) Record(s RequestSummary) {
 		if f.next == f.capN {
 			f.full, f.next = true, 0
 		}
-		return
+		return s
 	}
 	f.buf[f.next] = s
 	f.next++
 	if f.next == f.capN {
 		f.next = 0
 	}
+	return s
 }
 
 // Snapshot returns the retained summaries matching the filter, oldest

@@ -23,6 +23,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 var (
@@ -79,7 +81,12 @@ func release() { live.Add(-1) }
 // index-addressed locations disjoint across chunks; under that rule the
 // result is identical to calling fn(0, n) sequentially. For returns when
 // every chunk has completed.
-func For(n, grain int, fn func(lo, hi int)) {
+func For(n, grain int, fn func(lo, hi int)) { ForSite(SiteOther, n, grain, fn) }
+
+// ForSite is For tagged with an accounting call-site class; when pool
+// accounting is installed (Instrument), the call's chunk count, helper
+// queue waits, and wall time land in that class's collab_pool_* families.
+func ForSite(site Site, n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -91,10 +98,37 @@ func For(n, grain int, fn func(lo, hi int)) {
 	if w > chunks {
 		w = chunks
 	}
-	if w <= 1 {
-		fn(0, n)
+	m := acct.Load()
+	if m == nil {
+		// Disabled fast path: the bare pool, no timers, no counters.
+		if w <= 1 {
+			fn(0, n)
+			return
+		}
+		spawnAndRun(n, grain, chunks, w, fn, nil, nil)
 		return
 	}
+	if site < 0 || site >= numSites {
+		site = SiteOther
+	}
+	st := &m.sites[site]
+	st.calls.Inc()
+	st.tasks.Add(int64(chunks))
+	m.inflight.Add(1)
+	sw := obs.StartTimer()
+	if w <= 1 {
+		fn(0, n)
+	} else {
+		spawnAndRun(n, grain, chunks, w, fn, m, st)
+	}
+	m.inflight.Add(-1)
+	st.run.Observe(sw.Elapsed().Seconds())
+}
+
+// spawnAndRun is the multi-goroutine body shared by the accounted and
+// disabled paths: chunk-stealing helpers plus the caller. Accounting hooks
+// (m, st) are nil on the disabled path.
+func spawnAndRun(n, grain, chunks, w int, fn func(lo, hi int), m *Metrics, st *siteInstruments) {
 	var next atomic.Int64
 	work := func() {
 		for {
@@ -113,14 +147,36 @@ func For(n, grain int, fn func(lo, hi int)) {
 	var wg sync.WaitGroup
 	// The helper budget is global: width-1 helpers in total, so deeply
 	// nested For calls degrade to inline execution instead of piling up
-	// goroutines.
-	for i := 0; i < w-1 && acquire(int64(Workers()-1)); i++ {
+	// goroutines. A denied slot is the saturation signal the
+	// rejected-inline counter tracks.
+	spawned := 0
+	for i := 0; i < w-1; i++ {
+		if !acquire(int64(Workers() - 1)) {
+			if m != nil {
+				m.rejectedInline.Add(int64(w - 1 - i))
+			}
+			break
+		}
+		spawned++
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer release()
-			work()
-		}()
+		if st != nil {
+			submitted := obs.StartTimer()
+			go func() {
+				defer wg.Done()
+				defer release()
+				st.queueWait.Observe(submitted.Elapsed().Seconds())
+				work()
+			}()
+		} else {
+			go func() {
+				defer wg.Done()
+				defer release()
+				work()
+			}()
+		}
+	}
+	if m != nil {
+		m.helpers.Add(int64(spawned))
 	}
 	work()
 	wg.Wait()
@@ -129,8 +185,11 @@ func For(n, grain int, fn func(lo, hi int)) {
 // Do runs the given functions, using the calling goroutine plus pool
 // helpers, and returns when all have completed. Functions may run in any
 // order and concurrently; each runs exactly once.
-func Do(fns ...func()) {
-	For(len(fns), 1, func(lo, hi int) {
+func Do(fns ...func()) { DoSite(SiteOther, fns...) }
+
+// DoSite is Do tagged with an accounting call-site class (see ForSite).
+func DoSite(site Site, fns ...func()) {
+	ForSite(site, len(fns), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fns[i]()
 		}

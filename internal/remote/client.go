@@ -33,6 +33,10 @@ type Client struct {
 
 	mu      sync.Mutex
 	lastErr error
+	// name, when set, travels as the X-Collab-Client header on every
+	// request so the server's per-client attribution table keys on a
+	// stable collaborator identity instead of the remote address.
+	name string
 	// rid is the request ID of the run in flight (set by OptimizeReq,
 	// cleared by UpdateReq) so artifact fetches and uploads between the two
 	// carry the same X-Collab-Request header. One run at a time per client;
@@ -56,6 +60,21 @@ func NewClient(baseURL string, profile cost.Profile) *Client {
 
 // BaseURL reports the server address this client targets.
 func (c *Client) BaseURL() string { return c.base }
+
+// SetName sets the collaborator identity sent as the X-Collab-Client
+// header on every request ("" stops sending the header). The server
+// sanitizes the value; keep it short and printable.
+func (c *Client) SetName(name string) {
+	c.mu.Lock()
+	c.name = name
+	c.mu.Unlock()
+}
+
+func (c *Client) clientName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.name
+}
 
 // Err returns the last transport error, if any, and clears it.
 func (c *Client) Err() error {
@@ -187,6 +206,9 @@ func (c *Client) get(url string) (*http.Response, error) {
 	if rid := c.currentRID(); rid != "" {
 		req.Header.Set(obs.RequestIDHeader, rid)
 	}
+	if name := c.clientName(); name != "" {
+		req.Header.Set(obs.ClientIDHeader, name)
+	}
 	return c.http.Do(req)
 }
 
@@ -199,6 +221,9 @@ func (c *Client) post(url string, body *bytes.Buffer) (*http.Response, error) {
 	req.Header.Set("Content-Type", "application/octet-stream")
 	if rid := c.currentRID(); rid != "" {
 		req.Header.Set(obs.RequestIDHeader, rid)
+	}
+	if name := c.clientName(); name != "" {
+		req.Header.Set(obs.ClientIDHeader, name)
 	}
 	return c.http.Do(req)
 }

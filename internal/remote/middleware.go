@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
@@ -31,6 +32,8 @@ var routeLabels = []string{
 	"/v1/trace",
 	"/v1/explain",
 	"/v1/requests",
+	"/v1/clients",
+	"/v1/critpath",
 	"/metrics",
 	"/healthz",
 	"/readyz",
@@ -101,6 +104,24 @@ func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
 		m.routes[route] = ri
 	}
 	return m
+}
+
+// clientLabel resolves the caller's identity for per-client attribution:
+// the sanitized X-Collab-Client header when present, otherwise the remote
+// address host (stable per collaborator machine), otherwise "unknown". The
+// attribution table bounds distinct identities itself, so an adversarially
+// rotating label cannot grow it past its cap.
+func clientLabel(r *http.Request) string {
+	if c := obs.SanitizeClientID(r.Header.Get(obs.ClientIDHeader)); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil && host != "" {
+		return obs.SanitizeClientID(host)
+	}
+	if c := obs.SanitizeClientID(r.RemoteAddr); c != "" {
+		return c
+	}
+	return "unknown"
 }
 
 // countingReader counts request body bytes actually read by the handler
@@ -220,7 +241,10 @@ func (h *Handler) serveInstrumented(w http.ResponseWriter, r *http.Request, rid 
 	ri.byClass[statusClass(sw.status)].Inc()
 	ri.reqBytes.Add(cr.n)
 	ri.respBytes.Add(sw.bytes)
-	h.srv.Flight().Record(obs.RequestSummary{
+	// Record returns the summary merged with the optimizer's in-flight
+	// annotation (plan time, lock wait), so the per-client table sees the
+	// enriched view, not just the transport facts.
+	merged := h.srv.Flight().Record(obs.RequestSummary{
 		RequestID:     rid,
 		Method:        r.Method,
 		Route:         route,
@@ -230,6 +254,7 @@ func (h *Handler) serveInstrumented(w http.ResponseWriter, r *http.Request, rid 
 		BytesIn:       cr.n,
 		BytesOut:      sw.bytes,
 	})
+	h.srv.Clients().Observe(clientLabel(r), merged)
 	if h.log != nil {
 		h.log.Info("http",
 			slog.String(obs.RequestIDKey, rid),

@@ -255,6 +255,10 @@ func TestGETContentTypes(t *testing.T) {
 		{"/v1/explain?format=text", "text/plain; charset=utf-8"},
 		{"/v1/explain?format=dot", "text/vnd.graphviz"},
 		{"/v1/artifact?id=" + artifactID, "application/octet-stream"},
+		{"/v1/clients", "application/json"},
+		{"/v1/clients?format=text", "text/plain; charset=utf-8"},
+		{"/v1/critpath", "application/json"},
+		{"/v1/critpath?format=text", "text/plain; charset=utf-8"},
 		{"/healthz", "text/plain; charset=utf-8"},
 		{"/readyz", "text/plain; charset=utf-8"},
 	}

@@ -9,12 +9,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/explain"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // Handler wraps a core.Server with the HTTP protocol. Mount it on any mux.
@@ -77,6 +79,8 @@ func NewHandler(srv *core.Server, opts ...HandlerOption) *Handler {
 	h.mux.HandleFunc("GET /v1/trace", h.trace)
 	h.mux.HandleFunc("GET /v1/explain", h.explain)
 	h.mux.HandleFunc("GET /v1/requests", h.requests)
+	h.mux.HandleFunc("GET /v1/clients", h.clients)
+	h.mux.HandleFunc("GET /v1/critpath", h.critpath)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /readyz", h.readyz)
 	for _, o := range opts {
@@ -225,7 +229,7 @@ func (h *Handler) putArtifact(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty artifact", http.StatusBadRequest)
 		return
 	}
-	if err := h.srv.PutArtifact(id, env.Content); err != nil {
+	if err := h.srv.PutArtifactReq(id, env.Content, requestID(r)); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -248,6 +252,10 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		ReusePlanned:       h.srv.ReusePlanned(),
 		WarmstartsProposed: h.srv.WarmstartsProposed(),
 		UptimeSeconds:      h.srv.UptimeSeconds(),
+		LockWaitSec:        h.srv.LockWaitSeconds(),
+		LockHoldSec:        h.srv.LockHoldSeconds(),
+		StoreLockWaitSec:   h.srv.StoreLockWaitSeconds(),
+		Pool:               parallel.ReadStats(),
 	}
 	st.Version, st.GoVersion = h.srv.BuildInfo()
 	st.PlanPrunedOffPath, st.PlanPrunedByCost, st.PlanPrunedNotMaterialized = h.srv.PlanPruned()
@@ -355,6 +363,74 @@ func (h *Handler) trace(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = tr.WriteChrome(w)
+}
+
+// clients serves the per-client attribution table. Query parameters:
+//
+//	format=json|text  rendering (default json, byte-stable for a given
+//	                  table state)
+//
+// 404 when the server runs with client attribution disabled.
+func (h *Handler) clients(w http.ResponseWriter, r *http.Request) {
+	ct := h.srv.Clients()
+	if !ct.Enabled() {
+		http.Error(w, "client attribution disabled on this server", http.StatusNotFound)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = ct.WriteJSON(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ct.WriteText(w)
+	default:
+		http.Error(w, "unknown format "+format, http.StatusBadRequest)
+	}
+}
+
+// critpath analyzes the server-side trace buffer's critical path. Query
+// parameters:
+//
+//	request=<id>      restrict to spans tagged with this request ID
+//	format=json|text  rendering (default json, byte-stable for a given
+//	                  trace state)
+//	top=5             how many top contributors to list
+//
+// 404 unless tracing is enabled; also 404 when a request filter matches no
+// spans (the request was never traced, or its spans were dropped).
+func (h *Handler) critpath(w http.ResponseWriter, r *http.Request) {
+	tr := h.srv.Trace()
+	if tr == nil {
+		http.Error(w, "tracing disabled on this server", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	topK := obs.DefaultCritPathTopK
+	if top := q.Get("top"); top != "" {
+		n, err := strconv.Atoi(top)
+		if err != nil || n < 0 {
+			http.Error(w, "bad top "+top, http.StatusBadRequest)
+			return
+		}
+		topK = n
+	}
+	request := q.Get("request")
+	rep := obs.AnalyzeCritPath(tr.Events(), request, topK)
+	if request != "" && rep.Spans == 0 {
+		http.Error(w, "no trace spans for request "+request, http.StatusNotFound)
+		return
+	}
+	switch format := q.Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = rep.WriteJSON(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+	default:
+		http.Error(w, "unknown format "+format, http.StatusBadRequest)
+	}
 }
 
 // artifactEnvelope wraps the Artifact interface for gob transport.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/graph"
 	"repro/internal/ml"
+	"repro/internal/parallel"
 	"repro/internal/reuse"
 )
 
@@ -155,6 +156,13 @@ type Stats struct {
 	Version       string
 	GoVersion     string
 	UptimeSeconds float64
+	// Saturation telemetry: cumulative server-mutex queue and hold times
+	// across sections, the store write-lock analogue, and the process-wide
+	// parallel-pool accounting (zero Pool when accounting is uninstalled).
+	LockWaitSec      float64
+	LockHoldSec      float64
+	StoreLockWaitSec float64
+	Pool             parallel.Stats
 }
 
 // ToWire flattens a workload DAG into wire nodes in topological order.

@@ -75,7 +75,20 @@ type Metrics struct {
 	ChecksumFailures *obs.Counter
 	// BytesFetched accumulates the logical size of artifacts served by Get.
 	BytesFetched *obs.Counter
+	// LockWait accounts time callers queued on the manager's write lock
+	// (Put, GetTiered, Evict, Demote, DemoteIdle, FlushToDisk) — the
+	// eviction/admission serialization point under concurrent clients.
+	LockWait *obs.Histogram
+	// Trace, when non-nil, receives a "lock-wait:store" span (cat "lock")
+	// for each write-lock wait above lockWaitSpanThreshold, feeding the
+	// critical-path analyzer.
+	Trace *obs.Trace
 }
+
+// lockWaitSpanThreshold gates lock-wait trace spans: uncontended
+// acquisitions must not flood the trace buffer. The histogram sees every
+// acquisition regardless.
+const lockWaitSpanThreshold = 100 * time.Microsecond
 
 type colEntry struct {
 	col  *data.Column
@@ -139,6 +152,21 @@ func (m *Manager) Instrument(met Metrics) {
 	m.mu.Unlock()
 }
 
+// lockWrite acquires the manager's write lock, accounting the queue wait.
+// m.met is guarded by the lock itself, so the observation necessarily
+// happens after acquisition — the measured wait is unaffected.
+func (m *Manager) lockWrite() {
+	sw := obs.StartTimer()
+	m.mu.Lock()
+	wait := sw.Elapsed()
+	if m.met.LockWait != nil {
+		m.met.LockWait.Observe(wait.Seconds())
+	}
+	if m.met.Trace != nil && wait >= lockWaitSpanThreshold {
+		m.met.Trace.Span("lock-wait:store", "lock", 0, sw.StartedAt(), wait, nil)
+	}
+}
+
 // New returns an empty memory-only storage manager with the given load-cost
 // profile and no budget.
 func New(profile cost.Profile) *Manager {
@@ -198,7 +226,7 @@ func (m *Manager) Put(vertexID string, a graph.Artifact) error {
 	if a == nil {
 		return fmt.Errorf("store: nil artifact for %s", vertexID)
 	}
-	m.mu.Lock()
+	m.lockWrite()
 	defer m.mu.Unlock()
 	if m.hasLocked(vertexID) {
 		return nil
@@ -288,7 +316,7 @@ func (m *Manager) Get(vertexID string) graph.Artifact {
 // (the executor's fetch path, the reuse planner's cost model) can price and
 // tag the access with the artifact's actual location.
 func (m *Manager) GetTiered(vertexID string) (graph.Artifact, Tier) {
-	m.mu.Lock()
+	m.lockWrite()
 	defer m.mu.Unlock()
 	if a := m.getMemoryLocked(vertexID); a != nil {
 		m.met.GetHits.Inc()
@@ -392,7 +420,7 @@ func (m *Manager) dropMemoryLocked(vertexID string) bool {
 // releasing column references and reclaiming physical space for columns no
 // longer referenced.
 func (m *Manager) Evict(vertexID string) {
-	m.mu.Lock()
+	m.lockWrite()
 	defer m.mu.Unlock()
 	dropped := m.dropMemoryLocked(vertexID)
 	if m.disk != nil && m.disk.Has(vertexID) {
@@ -453,7 +481,7 @@ func (m *Manager) demoteLocked(vertexID string) error {
 // Demote explicitly moves a vertex's content from the memory tier to the
 // disk tier.
 func (m *Manager) Demote(vertexID string) error {
-	m.mu.Lock()
+	m.lockWrite()
 	defer m.mu.Unlock()
 	return m.demoteLocked(vertexID)
 }
@@ -525,7 +553,7 @@ func (m *Manager) enforceBudgetsLocked() {
 // runs it on a timer so long-idle artifacts drain to disk even without
 // budget pressure. Returns how many artifacts were demoted.
 func (m *Manager) DemoteIdle(olderThan time.Duration) int {
-	m.mu.Lock()
+	m.lockWrite()
 	defer m.mu.Unlock()
 	if m.disk == nil {
 		return 0
@@ -555,7 +583,7 @@ func (m *Manager) DemoteIdle(olderThan time.Duration) int {
 // durable on the disk tier (used at graceful shutdown of a persistent
 // store). Returns the first error, continuing past failures.
 func (m *Manager) FlushToDisk() error {
-	m.mu.Lock()
+	m.lockWrite()
 	defer m.mu.Unlock()
 	if m.disk == nil {
 		return fmt.Errorf("store: no disk tier attached")
