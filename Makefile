@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fmt-check lint-logs bench bench-json bench-store bench-check bench-serve bench-serve-check critpath-smoke fuzz cover ci
+.PHONY: build vet test race fmt-check lint-logs bench bench-json bench-store bench-check bench-serve bench-serve-check critpath-smoke ledger-smoke fuzz cover ci
 
 build:
 	$(GO) build ./...
@@ -33,10 +33,11 @@ bench-json:
 	@rm -f BENCH_exec.txt
 	@echo "wrote BENCH_exec.json"
 
-# bench-store benchmarks the tiered store (demote/promote spill paths and
-# disk-fetch vs recompute) into BENCH_store.json.
+# bench-store benchmarks the tiered store (demote/promote spill paths,
+# disk-fetch vs recompute, and artifact-ledger overhead) into
+# BENCH_store.json.
 bench-store:
-	@$(GO) test -run=NONE -bench='Demote|Promote|DiskFetch' -benchtime=20x \
+	@$(GO) test -run=NONE -bench='Demote|Promote|DiskFetch|LedgerOverhead' -benchtime=20x \
 		./internal/store/ > BENCH_store.txt
 	@awk 'BEGIN { print "[" } \
 		/^Benchmark/ { if (n++) printf ",\n"; \
@@ -95,6 +96,30 @@ critpath-smoke:
 	fi; \
 	rm -rf $$tmp; exit $$status
 
+# ledger-smoke checks the artifact ledger end-to-end through the CLI: the
+# canonical self-check lifecycle must render byte-identically to the
+# committed goldens (internal/obs/testdata/artifacts.{json,txt}) in both
+# formats, and twice in a row — the same byte-stability contract the golden
+# tests pin, exercised through the real `collab artifacts` binary path.
+ledger-smoke:
+	@tmp=$$(mktemp -d); status=1; \
+	if ! $(GO) run ./cmd/collab artifacts -selfcheck -json > $$tmp/a.json \
+		|| ! $(GO) run ./cmd/collab artifacts -selfcheck > $$tmp/a.txt; then \
+		echo "ledger-smoke: self-check failed"; \
+	elif ! test -s $$tmp/a.json || ! test -s $$tmp/a.txt; then \
+		echo "ledger-smoke: empty report"; \
+	elif ! cmp -s $$tmp/a.json internal/obs/testdata/artifacts.json; then \
+		echo "ledger-smoke: JSON drifted from internal/obs/testdata/artifacts.json"; \
+	elif ! cmp -s $$tmp/a.txt internal/obs/testdata/artifacts.txt; then \
+		echo "ledger-smoke: text drifted from internal/obs/testdata/artifacts.txt"; \
+	elif ! { $(GO) run ./cmd/collab artifacts -selfcheck -json > $$tmp/b.json \
+		&& cmp -s $$tmp/a.json $$tmp/b.json; }; then \
+		echo "ledger-smoke: report not byte-stable across identical runs"; \
+	else \
+		echo "ledger-smoke: OK ($$(wc -c < $$tmp/a.json) bytes, matches goldens)"; status=0; \
+	fi; \
+	rm -rf $$tmp; exit $$status
+
 # fuzz replays the committed seed corpus and explores the on-disk column
 # codec for a short budget (corruption must never decode successfully).
 fuzz:
@@ -128,7 +153,7 @@ cover:
 
 # ci is the tier-1 gate: build, vet, formatting, log hygiene, tests with
 # coverage (cover subsumes plain `test`), race tests, the critical-path
-# analyzer smoke, and benchmark comparisons — kernel benchmarks plus a
-# short serve-latency smoke run — against the committed baselines
-# (warn-only unless BENCH_STRICT=1).
-ci: build vet fmt-check lint-logs cover race critpath-smoke bench-check bench-serve-check
+# analyzer and artifact-ledger smokes, and benchmark comparisons — kernel
+# benchmarks plus a short serve-latency smoke run — against the committed
+# baselines (warn-only unless BENCH_STRICT=1).
+ci: build vet fmt-check lint-logs cover race critpath-smoke ledger-smoke bench-check bench-serve-check

@@ -63,6 +63,8 @@ func main() {
 		err = runRequests(args)
 	case "critpath":
 		err = runCritpath(args)
+	case "artifacts":
+		err = runArtifacts(args)
 	case "bench-serve":
 		err = runBenchServe(args)
 	default:
@@ -75,13 +77,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: collab <stats|explain|calibration|requests|critpath|bench-serve|kaggle|openml|run> [flags]
+	fmt.Fprintln(os.Stderr, `usage: collab <stats|explain|calibration|requests|critpath|artifacts|bench-serve|kaggle|openml|run> [flags]
   stats   -server URL [-clients]                   show server EG/store state;
                                                    -clients adds the per-client
                                                    attribution table
   critpath -server URL [-request ID] [-top N]      critical path through the
           [-json] | -trace FILE                    server trace (or a saved
                                                    Chrome trace file)
+  artifacts -server URL [-sort KEY] [-top N]       per-artifact lifecycle &
+          [-id VERTEX] [-json] | -selfcheck        storage economics (savings
+                                                   vs rent); -selfcheck prints
+                                                   the canonical offline demo
   explain -server URL [-format json|text|dot]      show the optimizer's last
           [-kind optimize|update] [-target plan|eg] decision trail
   calibration -server URL [-json]                  show predicted-vs-measured
@@ -254,8 +260,13 @@ func runStats(args []string) error {
 	fmt.Printf("experiment graph: %d vertices, %d materialized\n", st.Vertices, st.Materialized)
 	fmt.Printf("store: %.2f MB physical (%.2f MB logical)\n",
 		float64(st.PhysicalBytes)/(1<<20), float64(st.LogicalBytes)/(1<<20))
-	fmt.Printf("tiers: %.2f MB memory, %.2f MB disk\n",
-		float64(st.MemoryBytes)/(1<<20), float64(st.DiskBytes)/(1<<20))
+	fmt.Printf("tiers: %d artifacts / %.2f MB memory, %d artifacts / %.2f MB disk\n",
+		st.MemoryArtifacts, float64(st.MemoryBytes)/(1<<20),
+		st.DiskArtifacts, float64(st.DiskBytes)/(1<<20))
+	if st.ArtifactsTracked > 0 {
+		fmt.Printf("artifact economics: %d tracked, saved %.3fs, rent %.3fs, net %+.3fs\n",
+			st.ArtifactsTracked, st.ArtifactSavedSec, st.ArtifactRentSec, st.ArtifactNetSec)
+	}
 	if st.Runs > 0 {
 		fmt.Printf("calibration: %d measured run(s), %.3fs wall total (last %.3fs), est saved %.3fs, last speedup %.2fx\n",
 			st.Runs, st.RunWallTime.Seconds(), st.LastRunWallTime.Seconds(),
@@ -342,6 +353,60 @@ func runCritpath(args []string) error {
 	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("critpath: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+// runArtifacts fetches the server's artifact lifecycle ledger
+// (GET /v1/artifacts) and prints the per-artifact economics report. With
+// -selfcheck it instead renders the canonical scripted lifecycle offline —
+// the byte-stable output `make ledger-smoke` pins in CI.
+func runArtifacts(args []string) error {
+	fs := flag.NewFlagSet("artifacts", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:7171", "collabd URL")
+	sortBy := fs.String("sort", "net", "ordering: net|saved|rent|reuse|bytes|id")
+	top := fs.Int("top", 0, "only the first N artifacts after sorting (0 = all)")
+	id := fs.String("id", "", "only the artifact with this vertex ID")
+	asJSON := fs.Bool("json", false, "print the raw JSON instead of the table")
+	selfcheck := fs.Bool("selfcheck", false, "render the canonical scripted lifecycle offline (no server)")
+	_ = fs.Parse(args)
+
+	if *selfcheck {
+		led := obs.SelfCheckLedger()
+		q := obs.ArtifactQuery{SortBy: *sortBy, Top: *top, ID: *id}
+		if !obs.ValidArtifactSort(q.SortBy) {
+			return fmt.Errorf("artifacts: unknown sort %q", q.SortBy)
+		}
+		if *asJSON {
+			return led.WriteJSON(os.Stdout, q)
+		}
+		led.WriteText(os.Stdout, q)
+		return nil
+	}
+
+	q := url.Values{}
+	q.Set("sort", *sortBy)
+	if *top > 0 {
+		q.Set("top", fmt.Sprint(*top))
+	}
+	if *id != "" {
+		q.Set("id", *id)
+	}
+	if !*asJSON {
+		q.Set("format", "text")
+	}
+	resp, err := http.Get(*server + "/v1/artifacts?" + q.Encode())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("artifacts: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
 	_, err = os.Stdout.Write(body)
 	return err

@@ -23,8 +23,10 @@
 // exported at /v1/requests (`collab requests`); -clients N attributes
 // requests, wall time, bytes, and lock wait to up to N distinct callers
 // (keyed by X-Collab-Client, else remote address) at /v1/clients;
-// -slow-request D warns on requests slower than D; -pprof mounts
-// net/http/pprof under /debug/pprof/.
+// -artifacts N tracks the lifecycle and storage economics of up to N
+// distinct artifacts (events, reuse savings vs storage rent) at
+// /v1/artifacts (`collab artifacts`); -slow-request D warns on requests
+// slower than D; -pprof mounts net/http/pprof under /debug/pprof/.
 //
 // -profile-file loads the cost profile from a JSON file — typically one
 // refitted from measurements by `collab calibration -fit TIER` — instead
@@ -79,6 +81,7 @@ func main() {
 		explainCap = flag.Int("explain", 16, "keep the last N optimizer decision records for GET /v1/explain (0: explain off)")
 		requestCap = flag.Int("requests", obs.DefaultFlightCap, "keep the last N request summaries for GET /v1/requests (0: flight recorder off)")
 		clientCap  = flag.Int("clients", obs.DefaultClientCap, "attribute resource usage to up to N distinct clients for GET /v1/clients (0: attribution off)")
+		ledgerCap  = flag.Int("artifacts", obs.DefaultLedgerCap, "track lifecycle and storage economics of up to N distinct artifacts for GET /v1/artifacts (0: ledger off)")
 		slowWarn   = flag.Duration("slow-request", time.Second, "log a warning for requests slower than this (0: off)")
 		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		logLevel   = flag.String("log-level", "info", "log level: debug|info|warn|error")
@@ -149,6 +152,11 @@ func main() {
 		srvOpts = append(srvOpts, core.WithClientTable(obs.NewClientTable(*clientCap)))
 	} else {
 		srvOpts = append(srvOpts, core.WithClientTable(nil))
+	}
+	if *ledgerCap > 0 {
+		srvOpts = append(srvOpts, core.WithArtifactLedger(obs.NewArtifactLedger(*ledgerCap)))
+	} else {
+		srvOpts = append(srvOpts, core.WithArtifactLedger(nil))
 	}
 	stOpts := store.Options{MemoryBudget: *memBudget, DiskBudget: *diskBudget}
 	if *storeDir != "" {
@@ -226,7 +234,7 @@ func main() {
 	logger.Info("debug surfaces", "metrics", "/metrics",
 		"trace", traceState(*traceCap), "explain", explainState(*explainCap),
 		"requests", requestState(*requestCap), "clients", clientsState(*clientCap),
-		"pprof", *pprofOn)
+		"artifacts", ledgerState(*ledgerCap), "pprof", *pprofOn)
 	handler := remote.NewHandler(srv,
 		remote.WithHandlerLogger(logger),
 		remote.WithSlowRequestWarn(*slowWarn),
@@ -263,6 +271,13 @@ func clientsState(cap int) string {
 		return fmt.Sprintf("on (up to %d clients, GET /v1/clients)", cap)
 	}
 	return "off (-clients N to enable)"
+}
+
+func ledgerState(cap int) string {
+	if cap > 0 {
+		return fmt.Sprintf("on (up to %d artifacts, GET /v1/artifacts)", cap)
+	}
+	return "off (-artifacts N to enable)"
 }
 
 func logLevelByName(name string) (slog.Level, error) {

@@ -28,6 +28,15 @@ type TieredFetcher interface {
 	FetchTiered(id string) (graph.Artifact, string, time.Duration)
 }
 
+// RequestTieredFetcher is implemented by tiered sources that can attribute
+// a fetch to the request whose plan triggered it: a disk hit promotes the
+// artifact into memory, and the artifact ledger's promote event then names
+// the run that pulled it up. The executor prefers it over FetchTiered when
+// the execution carries a request ID.
+type RequestTieredFetcher interface {
+	FetchTieredReq(id, requestID string) (graph.Artifact, string, time.Duration)
+}
+
 // Optimizer is the server interface the client speaks: in-process (*Server)
 // or over HTTP (*RemoteClient). Both implement the optimize/update
 // round-trip of Figure 2 plus artifact retrieval.

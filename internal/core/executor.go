@@ -133,9 +133,12 @@ type vexec struct {
 	stop bool
 
 	// measure mirrors execConfig.measure for the owning worker; predLoad
-	// is the planner's Cl prediction for stop vertices (calibration).
-	measure  bool
-	predLoad time.Duration
+	// is the planner's Cl prediction for stop vertices (calibration);
+	// requestID mirrors execConfig.requestID so a fetch can attribute
+	// store-side promotions to this run.
+	measure   bool
+	predLoad  time.Duration
+	requestID string
 
 	// Completion record, written by the owning worker, read after join.
 	reused    bool
@@ -216,7 +219,7 @@ func Execute(w *graph.DAG, plan *reuse.Plan, src ArtifactSource, opts ...ExecOpt
 		if !active[n.ID] {
 			continue
 		}
-		s := &vexec{node: n, topo: i, measure: cfg.measure}
+		s := &vexec{node: n, topo: i, measure: cfg.measure, requestID: cfg.requestID}
 		s.stop = plan.Reuse[n.ID] || (n.Computed && n.Content != nil)
 		if cfg.measure && plan.Reuse[n.ID] {
 			if sec, ok := plan.PredictedLoad[n.ID]; ok {
@@ -378,7 +381,11 @@ func runVertex(s *vexec, src ArtifactSource, tr *obs.Trace, wid int) error {
 		}
 		var content graph.Artifact
 		var tierLabel string
-		if tf, ok := src.(TieredFetcher); ok {
+		if rf, ok := src.(RequestTieredFetcher); ok && s.requestID != "" {
+			// Request-aware tiered source: a promotion caused by this
+			// fetch is attributed to the run on the artifact ledger.
+			content, tierLabel, s.loadCost = rf.FetchTieredReq(n.ID, s.requestID)
+		} else if tf, ok := src.(TieredFetcher); ok {
 			// Tier-aware source: the load cost is priced for the tier that
 			// actually served the bytes (memory, disk, remote).
 			content, tierLabel, s.loadCost = tf.FetchTiered(n.ID)

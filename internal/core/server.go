@@ -79,6 +79,13 @@ type Server struct {
 	// disables it (nil is a zero-cost no-op).
 	clients    *obs.ClientTable
 	clientsSet bool
+	// ledger is the artifact lifecycle ledger: the store feeds it residency
+	// transitions, the updater feeds it per-reuse realized savings, and it
+	// is served at /v1/artifacts. Default-on with a small cap;
+	// WithArtifactLedger(nil) disables it (the store's detached fast path
+	// is one atomic pointer load).
+	ledger    *obs.ArtifactLedger
+	ledgerSet bool
 	// started anchors collab_uptime_seconds; version/goVersion back the
 	// collab_build_info metric and /v1/stats.
 	started   obs.Stopwatch
@@ -273,6 +280,13 @@ func WithClientTable(t *obs.ClientTable) ServerOption {
 	return func(srv *Server) { srv.clients = t; srv.clientsSet = true }
 }
 
+// WithArtifactLedger replaces the default artifact lifecycle ledger (a
+// DefaultLedgerCap-entry table). Pass a larger ledger to track more
+// distinct artifacts, or nil to disable lifecycle accounting entirely.
+func WithArtifactLedger(l *obs.ArtifactLedger) ServerOption {
+	return func(srv *Server) { srv.ledger = l; srv.ledgerSet = true }
+}
+
 // NewServer builds a server around the given store.
 func NewServer(st *store.Manager, opts ...ServerOption) *Server {
 	srv := &Server{
@@ -295,6 +309,9 @@ func NewServer(st *store.Manager, opts ...ServerOption) *Server {
 	}
 	if !srv.clientsSet {
 		srv.clients = obs.NewClientTable(0)
+	}
+	if !srv.ledgerSet {
+		srv.ledger = obs.NewArtifactLedger(0)
 	}
 	srv.initMetrics()
 	return srv
@@ -377,6 +394,35 @@ func (s *Server) initMetrics() {
 			"in-flight request annotations discarded by the pending-map bound",
 			func() float64 { return float64(s.flight.PendingEvicted()) })
 	}
+	// Artifact lifecycle ledger: attach to the store (deriving rent rates
+	// from the tier profiles and seeding entries for recovered artifacts)
+	// and expose the aggregate economics. The per-kind event counters use
+	// the fixed ArtifactEventKinds vocabulary, so label cardinality is
+	// bounded by construction.
+	s.Store.AttachLedger(s.ledger)
+	if s.ledger != nil {
+		reg.GaugeFunc("collab_artifact_tracked", "distinct artifacts in the lifecycle ledger",
+			func() float64 { return float64(s.ledger.Len()) })
+		reg.GaugeFunc("collab_artifact_dropped_total",
+			"artifacts never tracked because the ledger was full",
+			func() float64 { return float64(s.ledger.Dropped()) })
+		reg.GaugeFunc("collab_artifact_reuse_total", "artifact reuses observed by the ledger",
+			func() float64 { return float64(s.ledger.ReuseTotal()) })
+		reg.GaugeFunc("collab_artifact_saved_seconds",
+			"realized load-time savings across tracked artifacts (Cr avoided minus measured fetch)",
+			func() float64 { _, saved, _, _ := s.ledger.Totals(); return saved })
+		reg.GaugeFunc("collab_artifact_rent_seconds",
+			"storage rent across tracked artifacts (byte-seconds held, priced per tier)",
+			func() float64 { _, _, rent, _ := s.ledger.Totals(); return rent })
+		reg.GaugeFunc("collab_artifact_net_benefit_seconds",
+			"net benefit across tracked artifacts (savings minus rent)",
+			func() float64 { _, _, _, net := s.ledger.Totals(); return net })
+		for _, kind := range obs.ArtifactEventKinds {
+			reg.GaugeFunc(obs.Labeled("collab_artifact_events_total", "kind", kind),
+				"artifact lifecycle events by kind",
+				func() float64 { return float64(s.ledger.EventCount(kind)) })
+		}
+	}
 	// Per-client attribution health: distinct clients currently tracked
 	// (the cap plus one overflow bucket is the ceiling).
 	if s.clients != nil {
@@ -421,6 +467,10 @@ func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 // Clients returns the per-client attribution table backing /v1/clients, or
 // nil when attribution is disabled.
 func (s *Server) Clients() *obs.ClientTable { return s.clients }
+
+// ArtifactLedger returns the artifact lifecycle ledger backing
+// /v1/artifacts, or nil when lifecycle accounting is disabled.
+func (s *Server) ArtifactLedger() *obs.ArtifactLedger { return s.ledger }
 
 // LockWaitSeconds returns the cumulative time requests spent queued on the
 // server mutex, summed across sections (the scalar view of the
@@ -529,7 +579,14 @@ func (s *Server) LoadCostOf(sizeBytes int64) time.Duration {
 // hit costs disk speed even though the access also promotes the artifact
 // into memory).
 func (s *Server) FetchTiered(id string) (graph.Artifact, string, time.Duration) {
-	a, tr := s.Store.GetTiered(id)
+	return s.FetchTieredReq(id, "")
+}
+
+// FetchTieredReq implements RequestTieredFetcher: the fetch (and any
+// promotion it causes) is attributed to the given request ID on the
+// artifact ledger.
+func (s *Server) FetchTieredReq(id, requestID string) (graph.Artifact, string, time.Duration) {
+	a, tr := s.Store.GetTieredReq(id, requestID)
 	if a == nil {
 		return nil, "", 0
 	}
@@ -743,15 +800,26 @@ func (s *Server) observeExecutionLocked(executed *graph.DAG, requestID string) *
 	for _, n := range executed.Nodes() {
 		if n.LoadedFromEG {
 			reused++
-			if n.FetchTime > 0 && n.FetchTier != "" {
-				s.calib.ObserveLoad(n.FetchTier, n.SizeBytes, n.PredictedLoad, n.FetchTime)
-				fetchTotal += n.FetchTime
-				measured = true
-			}
 			if cr == nil {
 				cr = s.EG.RecreationCosts()
 			}
 			recreation += cr[n.ID]
+			if n.FetchTime > 0 && n.FetchTier != "" {
+				s.calib.ObserveLoad(n.FetchTier, n.SizeBytes, n.PredictedLoad, n.FetchTime)
+				fetchTotal += n.FetchTime
+				measured = true
+				// The realized saving of this reuse: the recreation cost
+				// the load avoided minus what the fetch actually took —
+				// the ledger's per-artifact join of planner prediction and
+				// measured outcome. Negative when fetching was slower than
+				// recomputing would have been.
+				s.ledger.ObserveReuse(n.ID, n.FetchTier, n.SizeBytes,
+					(cr[n.ID] - n.FetchTime).Seconds(), requestID)
+			} else {
+				// Unmeasured reuse (calibration off): counted, no
+				// attributable saving.
+				s.ledger.ObserveReuse(n.ID, "", n.SizeBytes, 0, requestID)
+			}
 			continue
 		}
 		if n.IsSource() || n.Computed || n.Kind == graph.SupernodeKind || n.ComputeTime <= 0 {
@@ -823,7 +891,7 @@ func (s *Server) PutArtifactReq(id string, a graph.Artifact, requestID string) e
 	if s.flight != nil && requestID != "" {
 		s.flight.Annotate(requestID, obs.RequestAnnotation{LockWaitNanos: lockWait.Nanoseconds()})
 	}
-	if err := s.Store.Put(id, a); err != nil {
+	if err := s.Store.PutReq(id, a, requestID); err != nil {
 		return err
 	}
 	s.EG.SetMaterialized(id, true)
@@ -844,7 +912,7 @@ func (s *Server) applySelectionLocked(available map[string]graph.Artifact, touch
 			continue
 		}
 		if content, ok := available[id]; ok {
-			if err := s.Store.Put(id, content); err == nil {
+			if err := s.Store.PutReq(id, content, requestID); err == nil {
 				s.EG.SetMaterialized(id, true)
 			}
 		} else {
@@ -900,7 +968,7 @@ func (s *Server) applySelectionLocked(available map[string]graph.Artifact, touch
 			continue
 		}
 		if content, ok := available[id]; ok {
-			if err := s.Store.Put(id, content); err == nil {
+			if err := s.Store.PutReq(id, content, requestID); err == nil {
 				s.EG.SetMaterialized(id, true)
 			}
 		} else {

@@ -34,6 +34,7 @@ var routeLabels = []string{
 	"/v1/requests",
 	"/v1/clients",
 	"/v1/critpath",
+	"/v1/artifacts",
 	"/metrics",
 	"/healthz",
 	"/readyz",

@@ -81,6 +81,7 @@ func NewHandler(srv *core.Server, opts ...HandlerOption) *Handler {
 	h.mux.HandleFunc("GET /v1/requests", h.requests)
 	h.mux.HandleFunc("GET /v1/clients", h.clients)
 	h.mux.HandleFunc("GET /v1/critpath", h.critpath)
+	h.mux.HandleFunc("GET /v1/artifacts", h.artifacts)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /readyz", h.readyz)
 	for _, o := range opts {
@@ -257,8 +258,12 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 		StoreLockWaitSec:   h.srv.StoreLockWaitSeconds(),
 		Pool:               parallel.ReadStats(),
 	}
+	st.MemoryArtifacts, st.DiskArtifacts = h.srv.Store.TierCounts()
 	st.Version, st.GoVersion = h.srv.BuildInfo()
 	st.PlanPrunedOffPath, st.PlanPrunedByCost, st.PlanPrunedNotMaterialized = h.srv.PlanPruned()
+	if led := h.srv.ArtifactLedger(); led.Enabled() {
+		st.ArtifactsTracked, st.ArtifactSavedSec, st.ArtifactRentSec, st.ArtifactNetSec = led.Totals()
+	}
 	if c := h.srv.Calibration(); c != nil {
 		st.Runs = c.Runs()
 		total, last := c.WallSeconds()
@@ -384,6 +389,50 @@ func (h *Handler) clients(w http.ResponseWriter, r *http.Request) {
 	case "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		ct.WriteText(w)
+	default:
+		http.Error(w, "unknown format "+format, http.StatusBadRequest)
+	}
+}
+
+// artifacts serves the artifact lifecycle ledger: per-artifact event
+// history plus storage economics (reuse counts, realized savings, rent,
+// net benefit). Query parameters:
+//
+//	sort=net|saved|rent|reuse|bytes|id  ordering (default net benefit,
+//	                                    descending; id ascending)
+//	top=10            keep only the first N artifacts after sorting
+//	id=<vertex id>    keep only this artifact
+//	format=json|text  rendering (default json, byte-stable for a given
+//	                  ledger state; text adds top-saver/top-waster lists)
+//
+// 404 when the server runs with the artifact ledger disabled.
+func (h *Handler) artifacts(w http.ResponseWriter, r *http.Request) {
+	led := h.srv.ArtifactLedger()
+	if !led.Enabled() {
+		http.Error(w, "artifact ledger disabled on this server", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	query := obs.ArtifactQuery{SortBy: q.Get("sort"), ID: q.Get("id")}
+	if !obs.ValidArtifactSort(query.SortBy) {
+		http.Error(w, "unknown sort "+query.SortBy, http.StatusBadRequest)
+		return
+	}
+	if top := q.Get("top"); top != "" {
+		n, err := strconv.Atoi(top)
+		if err != nil || n < 0 {
+			http.Error(w, "bad top "+top, http.StatusBadRequest)
+			return
+		}
+		query.Top = n
+	}
+	switch format := q.Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = led.WriteJSON(w, query)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		led.WriteText(w, query)
 	default:
 		http.Error(w, "unknown format "+format, http.StatusBadRequest)
 	}

@@ -118,6 +118,10 @@ type Stats struct {
 	// (inclusive tiers: an artifact resident in both counts in both).
 	MemoryBytes int64
 	DiskBytes   int64
+	// MemoryArtifacts and DiskArtifacts are the per-tier artifact counts
+	// (inclusive tiers: memory+disk can exceed the store total).
+	MemoryArtifacts int
+	DiskArtifacts   int
 	// PlanTime and MatTime are the accumulated reuse-planning and
 	// materialization-algorithm overheads.
 	PlanTime time.Duration
@@ -163,6 +167,14 @@ type Stats struct {
 	LockHoldSec      float64
 	StoreLockWaitSec float64
 	Pool             parallel.Stats
+	// Artifact-ledger economics: distinct artifacts tracked, cumulative
+	// realized reuse savings, storage rent, and their difference (see
+	// /v1/artifacts for the per-artifact breakdown). All zero when the
+	// ledger is disabled.
+	ArtifactsTracked int
+	ArtifactSavedSec float64
+	ArtifactRentSec  float64
+	ArtifactNetSec   float64
 }
 
 // ToWire flattens a workload DAG into wire nodes in topological order.

@@ -15,7 +15,9 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cost"
@@ -142,6 +144,13 @@ type Manager struct {
 	clock     uint64
 
 	met Metrics
+
+	// ledger receives one event per residency transition (materialized,
+	// promoted, demoted, evicted, quarantined, recovered) when attached.
+	// An atomic pointer, not a Metrics field: transitions fire inside
+	// locked sections on the hot path, and the detached state must cost
+	// exactly one pointer load (pinned by BenchmarkLedgerOverhead).
+	ledger atomic.Pointer[obs.ArtifactLedger]
 }
 
 // Instrument installs observability counters on the manager; the zero
@@ -151,6 +160,72 @@ func (m *Manager) Instrument(met Metrics) {
 	m.met = met
 	m.mu.Unlock()
 }
+
+// RentHorizonSeconds is the pricing window for artifact storage rent: one
+// rent horizon of residency in a tier is charged one bandwidth-priced load
+// of the artifact's bytes from that tier. The horizon keeps rent
+// commensurate with the load-time savings it is weighed against — an
+// artifact that cannot save one tier-load's worth of time per minute of
+// residency is paying more than it earns (ROADMAP item 4's eviction
+// signal).
+const RentHorizonSeconds = 60
+
+// RentRate converts a tier's cost profile into the ledger's rent price:
+// seconds of rent per byte-second of residency. A profile without
+// bandwidth (unpriceable tier) rents for free.
+func RentRate(p cost.Profile) float64 {
+	if p.BytesPerSecond <= 0 {
+		return 0
+	}
+	return 1 / (p.BytesPerSecond * RentHorizonSeconds)
+}
+
+// AttachLedger connects the artifact lifecycle ledger: rent rates are
+// derived from the manager's tier profiles, ledger entries are seeded for
+// already-stored artifacts (memory residents as materialized, disk-only
+// residents as recovered — after a crash the durable tier's survivors
+// rebuild their entries, with pre-crash history gone), and every
+// subsequent residency transition emits an event. nil detaches; the
+// detached fast path is a single atomic pointer load.
+func (m *Manager) AttachLedger(led *obs.ArtifactLedger) {
+	if led != nil {
+		led.SetRentRate(TierMemory.String(), RentRate(m.profile))
+		led.SetRentRate(TierDisk.String(), RentRate(m.diskProfile))
+		m.mu.RLock()
+		mem := make([]string, 0, len(m.frames)+len(m.blobs))
+		for id := range m.frames {
+			mem = append(mem, id)
+		}
+		for id := range m.blobs {
+			mem = append(mem, id)
+		}
+		sort.Strings(mem)
+		var rec []string
+		if m.disk != nil {
+			for _, id := range m.disk.StoredIDs() {
+				if _, f := m.frames[id]; f {
+					continue
+				}
+				if _, b := m.blobs[id]; b {
+					continue
+				}
+				rec = append(rec, id)
+			}
+			sort.Strings(rec)
+		}
+		for _, id := range mem {
+			led.Event(id, obs.ArtifactMaterialized, TierMemory.String(), m.logical[id], "")
+		}
+		for _, id := range rec {
+			led.Event(id, obs.ArtifactRecovered, TierDisk.String(), m.disk.LogicalSize(id), "")
+		}
+		m.mu.RUnlock()
+	}
+	m.ledger.Store(led)
+}
+
+// Ledger returns the attached artifact lifecycle ledger, or nil.
+func (m *Manager) Ledger() *obs.ArtifactLedger { return m.ledger.Load() }
 
 // lockWrite acquires the manager's write lock, accounting the queue wait.
 // m.met is guarded by the lock itself, so the observation necessarily
@@ -223,6 +298,13 @@ func (m *Manager) touchLocked(vertexID string) {
 // If the memory budget is exceeded, the coldest artifacts are demoted to
 // the disk tier before Put returns.
 func (m *Manager) Put(vertexID string, a graph.Artifact) error {
+	return m.PutReq(vertexID, a, "")
+}
+
+// PutReq is Put carrying the request ID that caused the materialization,
+// recorded on the ledger's materialized event so an artifact's lifecycle
+// can be traced back to the run that created it.
+func (m *Manager) PutReq(vertexID string, a graph.Artifact, requestID string) error {
 	if a == nil {
 		return fmt.Errorf("store: nil artifact for %s", vertexID)
 	}
@@ -234,6 +316,9 @@ func (m *Manager) Put(vertexID string, a graph.Artifact) error {
 	m.met.Puts.Inc()
 	m.admitLocked(vertexID, a)
 	m.touchLocked(vertexID)
+	if led := m.ledger.Load(); led != nil {
+		led.Event(vertexID, obs.ArtifactMaterialized, TierMemory.String(), m.logical[vertexID], requestID)
+	}
 	m.enforceBudgetsLocked()
 	return nil
 }
@@ -298,6 +383,9 @@ func (m *Manager) getDiskLocked(vertexID string) graph.Artifact {
 	a, err := m.disk.Get(vertexID)
 	if err != nil {
 		m.met.ChecksumFailures.Inc()
+		if led := m.ledger.Load(); led != nil {
+			led.Event(vertexID, obs.ArtifactQuarantined, TierDisk.String(), 0, "")
+		}
 		return nil
 	}
 	return a
@@ -316,6 +404,13 @@ func (m *Manager) Get(vertexID string) graph.Artifact {
 // (the executor's fetch path, the reuse planner's cost model) can price and
 // tag the access with the artifact's actual location.
 func (m *Manager) GetTiered(vertexID string) (graph.Artifact, Tier) {
+	return m.GetTieredReq(vertexID, "")
+}
+
+// GetTieredReq is GetTiered carrying the request ID whose plan triggered
+// the fetch, so a promote event on the ledger names the run that pulled
+// the artifact back into memory.
+func (m *Manager) GetTieredReq(vertexID, requestID string) (graph.Artifact, Tier) {
 	m.lockWrite()
 	defer m.mu.Unlock()
 	if a := m.getMemoryLocked(vertexID); a != nil {
@@ -331,6 +426,9 @@ func (m *Manager) GetTiered(vertexID string) (graph.Artifact, Tier) {
 		// a later demotion is a metadata-only drop).
 		m.admitLocked(vertexID, a)
 		m.met.Promotions.Inc()
+		if led := m.ledger.Load(); led != nil {
+			led.Event(vertexID, obs.ArtifactPromoted, TierMemory.String(), m.logical[vertexID], requestID)
+		}
 		m.met.BytesFetched.Add(m.logical[vertexID])
 		m.touchLocked(vertexID)
 		m.enforceBudgetsLocked()
@@ -422,8 +520,12 @@ func (m *Manager) dropMemoryLocked(vertexID string) bool {
 func (m *Manager) Evict(vertexID string) {
 	m.lockWrite()
 	defer m.mu.Unlock()
+	sz := m.logical[vertexID]
 	dropped := m.dropMemoryLocked(vertexID)
 	if m.disk != nil && m.disk.Has(vertexID) {
+		if sz == 0 {
+			sz = m.disk.LogicalSize(vertexID)
+		}
 		m.disk.Evict(vertexID)
 		dropped = true
 	}
@@ -431,6 +533,10 @@ func (m *Manager) Evict(vertexID string) {
 		delete(m.lastUse, vertexID)
 		delete(m.lastTouch, vertexID)
 		m.met.Evictions.Inc()
+		if led := m.ledger.Load(); led != nil {
+			// Empty tier: the artifact left every tier it occupied.
+			led.Event(vertexID, obs.ArtifactEvicted, "", sz, "")
+		}
 	}
 }
 
@@ -442,6 +548,9 @@ func (m *Manager) demoteLocked(vertexID string) error {
 	if m.disk == nil {
 		return fmt.Errorf("store: no disk tier to demote %s to", vertexID)
 	}
+	// Captured before dropMemoryLocked deletes the logical entry; the
+	// ledger's demoted event needs the artifact size.
+	sz := m.logical[vertexID]
 	if man, ok := m.frames[vertexID]; ok {
 		if !m.disk.Has(vertexID) {
 			cols := make([]*data.Column, len(man.colIDs))
@@ -463,6 +572,9 @@ func (m *Manager) demoteLocked(vertexID string) error {
 		}
 		m.dropMemoryLocked(vertexID)
 		m.met.Demotions.Inc()
+		if led := m.ledger.Load(); led != nil {
+			led.Event(vertexID, obs.ArtifactDemoted, TierDisk.String(), sz, "")
+		}
 		return nil
 	}
 	if b, ok := m.blobs[vertexID]; ok {
@@ -473,6 +585,9 @@ func (m *Manager) demoteLocked(vertexID string) error {
 		}
 		m.dropMemoryLocked(vertexID)
 		m.met.Demotions.Inc()
+		if led := m.ledger.Load(); led != nil {
+			led.Event(vertexID, obs.ArtifactDemoted, TierDisk.String(), sz, "")
+		}
 		return nil
 	}
 	return fmt.Errorf("store: %s is not memory-resident", vertexID)
@@ -519,10 +634,14 @@ func (m *Manager) enforceBudgetsLocked() {
 			if err := m.demoteLocked(victim); err != nil {
 				// No disk tier or spill failure: fall back to dropping the
 				// artifact so the budget still holds.
+				sz := m.logical[victim]
 				m.dropMemoryLocked(victim)
 				delete(m.lastUse, victim)
 				delete(m.lastTouch, victim)
 				m.met.Evictions.Inc()
+				if led := m.ledger.Load(); led != nil {
+					led.Event(victim, obs.ArtifactEvicted, TierMemory.String(), sz, "")
+				}
 			}
 		}
 	}
@@ -538,8 +657,12 @@ func (m *Manager) enforceBudgetsLocked() {
 			if victim == "" {
 				break
 			}
+			sz := m.disk.LogicalSize(victim)
 			m.disk.Evict(victim)
 			m.met.DiskEvictions.Inc()
+			if led := m.ledger.Load(); led != nil {
+				led.Event(victim, obs.ArtifactEvicted, TierDisk.String(), sz, "")
+			}
 			if m.tierOfLocked(victim) == TierNone {
 				delete(m.lastUse, victim)
 				delete(m.lastTouch, victim)
@@ -618,6 +741,19 @@ func (m *Manager) DiskBytes() int64 {
 		return 0
 	}
 	return m.disk.PhysicalBytes()
+}
+
+// TierCounts reports how many artifacts each tier currently holds. The
+// tiers are inclusive, so an artifact resident in both counts in both —
+// memory+disk can exceed Len().
+func (m *Manager) TierCounts() (memory, disk int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	memory = len(m.frames) + len(m.blobs)
+	if m.disk != nil {
+		disk = m.disk.Len()
+	}
+	return memory, disk
 }
 
 // PhysicalBytes returns the deduplicated bytes in the memory tier (the
